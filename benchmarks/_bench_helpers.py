@@ -1,0 +1,28 @@
+"""Shared constants and result capture for the benchmarks."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: this sandbox serialises syscalls across threads, so wall-clock
+#: benches use small pools; the modelled-device figures are pool-size
+#: independent (see DESIGN.md).
+NTHREADS = 2
+
+#: dataset-2-shaped namespace scale for the macro benches (Figs 8-10).
+DS2_SCALE = 0.0003
+
+
+def save_table(name: str, *tables) -> None:
+    """Persist rendered tables (txt for humans, csv for plotting) and
+    echo them to the terminal."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = "\n\n".join(t.render() for t in tables)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    for i, t in enumerate(tables):
+        suffix = "" if len(tables) == 1 else f"_{i}"
+        (RESULTS_DIR / f"{name}{suffix}.csv").write_text(t.to_csv())
+    print()
+    print(text)

@@ -1,0 +1,64 @@
+"""Table I — file-system scan and index-creation times.
+
+Regenerates the paper's five-filesystem scan comparison: tree walks
+(NFS/Lustre), a Lester-style inode-table scan (/scratch1), and an
+HPSS SQL dump (/archive), with modelled scan times extrapolated to the
+paper's entry counts, plus measured index-creation times.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.build import BuildOptions, build_from_stanzas
+from repro.gen.datasets import table1_namespace
+from repro.harness import table1
+from repro.scan.scanners import LesterScanner, TreeWalkScanner
+
+from _bench_helpers import NTHREADS, save_table
+
+SCALE = 8e-5
+
+
+def bench_table1_full(benchmark):
+    table = benchmark.pedantic(
+        lambda: table1(scale=SCALE, nthreads=NTHREADS), rounds=1, iterations=1
+    )
+    save_table("table1", table)
+    assert len(table.rows) == 5
+
+
+@pytest.fixture(scope="module")
+def scratch1_ns():
+    return table1_namespace("/scratch1", scale=SCALE)
+
+
+def bench_table1_treewalk_scan(benchmark, scratch1_ns):
+    """Generic threaded tree-walk scan (the in-situ path)."""
+    result = benchmark(
+        lambda: TreeWalkScanner(scratch1_ns.tree, nthreads=NTHREADS).scan("/")
+    )
+    assert result.num_dirs == scratch1_ns.tree.num_dirs
+
+
+def bench_table1_lester_scan(benchmark, scratch1_ns):
+    """Inode-table scan — must beat the tree walk in modelled time."""
+    result = benchmark(lambda: LesterScanner(scratch1_ns.tree).scan("/"))
+    tw = TreeWalkScanner(scratch1_ns.tree, nthreads=NTHREADS).scan("/")
+    assert result.modeled_time < tw.modeled_time
+
+
+def bench_table1_index_creation(benchmark, scratch1_ns, tmp_path_factory):
+    """Post-processing ingest of a completed scan (Table I's last
+    column — the paper's '158s'/'229s' entries at full scale)."""
+    stanzas = LesterScanner(scratch1_ns.tree).scan("/").stanzas
+    counter = [0]
+
+    def build():
+        counter[0] += 1
+        root = tmp_path_factory.mktemp(f"t1idx{counter[0]}")
+        return build_from_stanzas(stanzas, root / "idx",
+                                  BuildOptions(nthreads=NTHREADS))
+
+    result = benchmark.pedantic(build, rounds=2, iterations=1)
+    assert result.dirs_created == len(stanzas)

@@ -1,0 +1,38 @@
+"""Shared benchmark fixtures.
+
+Each ``bench_*.py`` regenerates one of the paper's tables/figures via
+the drivers in :mod:`repro.harness` and times the system-under-test
+pieces with pytest-benchmark. Rendered result tables are written to
+``benchmarks/results/*.txt`` (and echoed to the terminal) so a bench
+run leaves the paper-comparable artifacts behind.
+
+Run:  pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.build import BuildOptions, build_from_stanzas
+from repro.gen.datasets import dataset2
+from repro.scan.scanners import TreeWalkScanner
+
+from _bench_helpers import DS2_SCALE, NTHREADS
+
+
+@pytest.fixture(scope="session")
+def ds2_stanzas():
+    """Scan of the shared dataset-2-shaped namespace."""
+    ns = dataset2(scale=DS2_SCALE)
+    scan = TreeWalkScanner(ns.tree, nthreads=NTHREADS).scan("/")
+    return ns, scan.stanzas
+
+
+@pytest.fixture(scope="session")
+def ds2_index(ds2_stanzas, tmp_path_factory):
+    """A built (non-rolled) GUFI index of the shared namespace."""
+    _, stanzas = ds2_stanzas
+    root = tmp_path_factory.mktemp("bench_gufi")
+    result = build_from_stanzas(stanzas, root / "idx",
+                                BuildOptions(nthreads=NTHREADS))
+    return result

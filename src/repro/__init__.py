@@ -1,0 +1,35 @@
+"""repro — a from-scratch Python reproduction of GUFI (SC 2022).
+
+GUFI, the Grand Unified File Index, is a file-system metadata index
+that both privileged and unprivileged users can query securely: the
+index mirrors the source tree's directory structure, ownership, and
+permission bits, so POSIX checks gate traversal; per-directory SQLite
+databases give SQL expressiveness; permission-compatible sub-trees are
+rolled up into fewer, larger databases for speed.
+
+Subpackages
+-----------
+``repro.core``
+    The index itself: schema, builders, rollup, tree summaries, the
+    parallel query engine, and find/ls/du-style tools.
+``repro.fs``
+    A simulated multi-user POSIX file system (the source systems GUFI
+    scans) with full permission/xattr semantics and snapshots.
+``repro.scan``
+    Parallel breadth-first walkers, trace files, and the scanner
+    family (tree walk, Lester-style inode scan, SQL dump, snapshot).
+``repro.gen``
+    Synthetic namespace generators shaped like the paper's datasets.
+``repro.sim``
+    Device and remote-file-system cost models (virtual clock, SSD
+    throughput, per-op metadata RPC latencies) for the experiments
+    that need hardware this repo does not have.
+``repro.baselines``
+    Brindexer (hash-partitioned index) and classic POSIX tools.
+``repro.harness``
+    One driver per paper table/figure, returning printable tables.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

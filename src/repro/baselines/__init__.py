@@ -1,0 +1,22 @@
+"""Baseline systems the paper compares GUFI against: the Brindexer
+hash-partitioned index (Figs 8, 10) and the classic POSIX metadata
+tools over cost-modelled file systems (Figs 1, 9).
+"""
+
+from .brindexer import (
+    BrindexerBuildResult,
+    BrindexerIndex,
+    BrindexerQueryResult,
+)
+from .posix_tools import ToolResult, du_s, find_getfattr, find_ls, find_names
+
+__all__ = [
+    "BrindexerBuildResult",
+    "BrindexerIndex",
+    "BrindexerQueryResult",
+    "ToolResult",
+    "du_s",
+    "find_getfattr",
+    "find_ls",
+    "find_names",
+]

@@ -1,0 +1,190 @@
+"""Classic POSIX metadata tools over a (cost-modelled) file system.
+
+These are the Fig 1 and Fig 9 baselines:
+
+* :func:`find_ls` — ``find <top> -ls``: a recursive walk issuing one
+  readdir per directory and one (l)stat per entry;
+* :func:`du_s` — ``du -s <top>``: the same walk, summing block usage;
+* :func:`find_getfattr` — ``find … | xargs getfattr -n <attr>``: walk
+  (or use a pre-generated file list) then fetch one attribute per
+  file. POSIX offers no "which files have xattrs?" query, so cost is
+  proportional to *total* files regardless of how many carry the
+  attribute — the asymmetry Fig 9a exposes.
+
+All tools run against a :class:`~repro.fs.mounts.MountedFS`, so every
+operation charges the mount's per-op latency to its virtual clock;
+results report that modelled time alongside wall time. ``find`` and
+``du`` are sequential (they are in reality); ``getfattr`` fan-out via
+``xargs -P`` is modelled with a parallel-efficiency divisor.
+"""
+
+from __future__ import annotations
+
+import posixpath
+import time
+from dataclasses import dataclass
+
+from repro.fs.errors import FSError, PermissionDenied
+from repro.fs.inode import FileType
+from repro.fs.mounts import MountedFS
+from repro.fs.permissions import ROOT, Credentials
+
+
+@dataclass
+class ToolResult:
+    """Outcome of one tool run."""
+
+    entries_seen: int
+    matches: int
+    modeled_time: float  # seconds on the modelled file system
+    wall_time: float  # seconds the in-memory simulation took
+    bytes_total: int = 0
+
+
+def _walk(
+    mount: MountedFS, top: str, creds: Credentials
+) -> tuple[list[tuple[str, object]], int]:
+    """Sequential recursive descent: readdir + lstat per entry,
+    exactly the syscall pattern ``find`` generates. Returns
+    ((path, stat) pairs, directories the credentials could not read
+    — which find reports as 'Permission denied' and skips)."""
+    out: list[tuple[str, object]] = []
+    denied = 0
+    stack = [posixpath.normpath(top)]
+    while stack:
+        d = stack.pop()
+        try:
+            st = mount.lstat(d, creds)
+        except FSError:
+            denied += 1
+            continue
+        out.append((d, st))
+        try:
+            entries = mount.readdir(d, creds)
+        except PermissionDenied:
+            denied += 1
+            continue
+        except FSError:
+            continue
+        for e in entries:
+            child = posixpath.join(d, e.name)
+            if e.ftype is FileType.DIRECTORY:
+                stack.append(child)
+            else:
+                try:
+                    cst = mount.lstat(child, creds)
+                except FSError:
+                    denied += 1
+                    continue
+                out.append((child, cst))
+    return out, denied
+
+
+def find_ls(
+    mount: MountedFS, top: str = "/", creds: Credentials = ROOT
+) -> ToolResult:
+    """``find <top> -ls``: list every entry with its attributes."""
+    t0_wall = time.monotonic()
+    t0_model = mount.clock.now
+    listed, _ = _walk(mount, top, creds)
+    return ToolResult(
+        entries_seen=len(listed),
+        matches=len(listed),
+        modeled_time=mount.clock.now - t0_model,
+        wall_time=time.monotonic() - t0_wall,
+    )
+
+
+def du_s(
+    mount: MountedFS, top: str = "/", creds: Credentials = ROOT
+) -> ToolResult:
+    """``du -s <top>``: total bytes under the tree."""
+    t0_wall = time.monotonic()
+    t0_model = mount.clock.now
+    listed, _ = _walk(mount, top, creds)
+    total = sum(st.st_size for _, st in listed)
+    return ToolResult(
+        entries_seen=len(listed),
+        matches=len(listed),
+        modeled_time=mount.clock.now - t0_model,
+        wall_time=time.monotonic() - t0_wall,
+        bytes_total=total,
+    )
+
+
+def find_names(
+    mount: MountedFS,
+    top: str = "/",
+    name_substring: str | None = None,
+    creds: Credentials = ROOT,
+) -> ToolResult:
+    """``find <top> -name '*substr*'``: the interactive single-name
+    search §II motivates (a user hunting one file in a huge subtree)."""
+    t0_wall = time.monotonic()
+    t0_model = mount.clock.now
+    listed, _ = _walk(mount, top, creds)
+    matches = [
+        p for p, _ in listed
+        if name_substring is None or name_substring in posixpath.basename(p)
+    ]
+    return ToolResult(
+        entries_seen=len(listed),
+        matches=len(matches),
+        modeled_time=mount.clock.now - t0_model,
+        wall_time=time.monotonic() - t0_wall,
+    )
+
+
+def find_getfattr(
+    mount: MountedFS,
+    top: str = "/",
+    attr_name: str = "user.ext",
+    value_substring: str | None = None,
+    creds: Credentials = ROOT,
+    file_list: list[str] | None = None,
+    xargs_parallel: int = 1,
+    parallel_efficiency: float = 0.85,
+) -> ToolResult:
+    """Fig 9's XFS baselines.
+
+    Without ``file_list``: ``find … -type f -o -type l`` walks the
+    tree, then ``getfattr`` runs per file. With ``file_list`` (the
+    paper's pre-generated list variant): the walk is skipped and only
+    the per-file getfattr cost remains. Either way every file pays a
+    getxattr round trip — there is no POSIX call to select files
+    *with* attributes.
+
+    ``xargs_parallel`` models ``xargs -P N``: the getfattr phase's
+    modelled time divides by the usual imperfect-speedup factor.
+    """
+    t0_wall = time.monotonic()
+    walk_model = 0.0
+    if file_list is None:
+        t0_model = mount.clock.now
+        listed, _ = _walk(mount, top, creds)
+        file_list = [
+            p for p, st in listed
+            if (st.st_mode & 0o170000) != 0o040000  # not a directory
+        ]
+        walk_model = mount.clock.now - t0_model
+
+    t0_model = mount.clock.now
+    matches = 0
+    for path in file_list:
+        try:
+            # getfattr -h: never follow symlinks (the paper's flag)
+            value = mount.getxattr(path, attr_name, creds, follow=False)
+        except FSError:
+            continue
+        if value_substring is None or value_substring.encode() in value:
+            matches += 1
+    fattr_model = mount.clock.now - t0_model
+    if xargs_parallel > 1:
+        speedup = 1.0 + (xargs_parallel - 1) * parallel_efficiency
+        fattr_model /= speedup
+    return ToolResult(
+        entries_seen=len(file_list),
+        matches=matches,
+        modeled_time=walk_model + fattr_model,
+        wall_time=time.monotonic() - t0_wall,
+    )

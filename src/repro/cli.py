@@ -1,0 +1,340 @@
+"""Command-line interface mirroring the GUFI tool family.
+
+Subcommands map one-to-one onto the paper's executables::
+
+    repro-gufi dir2index   <namespace.trace|--demo> <index_root>
+    repro-gufi trace2index <trace_file> <index_root>
+    repro-gufi query       <index_root> [-I/-T/-S/-E/-J/-G SQL] [-n N]
+    repro-gufi find        <index_root> [--name LIKE] [--type f|l] ...
+    repro-gufi du          <index_root> [--start PATH] [--tsummary]
+    repro-gufi rollup      <index_root> [-L limit]
+    repro-gufi unrollup    <index_root> <dir>
+    repro-gufi bfti        <index_root> [--start PATH]
+    repro-gufi stats       <index_root>
+    repro-gufi experiments [fig1|table1|fig7|fig8|fig9|fig10|rollup|ingest|all]
+
+Credentials for query tools come from ``--uid/--gid/--groups``
+(default root), standing in for the authenticated identity the
+deployed system gets from LDAP via its restricted shell (§III-A5).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.build import BuildOptions, trace2index
+from repro.core.index import GUFIIndex
+from repro.core.query import GUFIQuery, QuerySpec
+from repro.core.rollup import rollup, unrollup_dir, visible_db_count
+from repro.core.tools import FindFilters, GUFITools
+from repro.core.tsummary import build_tsummary
+from repro.fs.permissions import Credentials
+
+
+def _creds(args: argparse.Namespace) -> Credentials:
+    groups = frozenset(int(g) for g in (args.groups or "").split(",") if g)
+    return Credentials(uid=args.uid, gid=args.gid, groups=groups)
+
+
+def _add_identity(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--uid", type=int, default=0, help="querying uid (default root)")
+    p.add_argument("--gid", type=int, default=0)
+    p.add_argument("--groups", default="", help="comma-separated supplementary gids")
+
+
+def _add_threads(p: argparse.ArgumentParser) -> None:
+    p.add_argument("-n", "--nthreads", type=int, default=4,
+                   help="worker threads (the paper's -n flag)")
+
+
+def cmd_trace2index(args: argparse.Namespace) -> int:
+    result = trace2index(
+        args.trace, args.index_root, BuildOptions(nthreads=args.nthreads)
+    )
+    print(
+        f"indexed {result.dirs_created} dirs / {result.entries_inserted} "
+        f"entries in {result.seconds:.2f}s "
+        f"({result.rows_per_second:.0f} rows/s)"
+    )
+    return 0
+
+
+def cmd_demo_index(args: argparse.Namespace) -> int:
+    from repro.core.build import dir2index
+    from repro.gen import dataset2
+
+    ns = dataset2(scale=args.scale)
+    result = dir2index(
+        ns.tree, args.index_root, opts=BuildOptions(nthreads=args.nthreads)
+    )
+    print(
+        f"demo namespace: {result.dirs_created} dirs / "
+        f"{result.entries_inserted} entries indexed in {result.seconds:.2f}s"
+    )
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    index = GUFIIndex.open(args.index_root)
+    spec = QuerySpec(
+        I=args.init, T=args.tsum, S=args.sum, E=args.entries,
+        J=args.join, G=args.final, xattrs=args.xattrs,
+        output_prefix=args.output,
+    )
+    q = GUFIQuery(index, creds=_creds(args), nthreads=args.nthreads)
+    result = q.run(spec, args.start)
+    for row in result.rows:
+        print("\t".join("" if v is None else str(v) for v in row))
+    if result.output_files:
+        for path in result.output_files:
+            print(f"# wrote {path}", file=sys.stderr)
+    print(
+        f"# {result.dirs_visited} dirs visited, {result.dirs_denied} denied, "
+        f"{result.elapsed:.3f}s",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_find(args: argparse.Namespace) -> int:
+    index = GUFIIndex.open(args.index_root)
+    tools = GUFITools(index, creds=_creds(args), nthreads=args.nthreads)
+    filters = FindFilters(
+        name_like=args.name, ftype=args.type,
+        min_size=args.min_size, max_size=args.max_size,
+    )
+    result = tools.find(args.start, filters)
+    for path, ftype, size in sorted(result.rows):
+        print(f"{ftype}\t{size}\t{path}")
+    return 0
+
+
+def cmd_du(args: argparse.Namespace) -> int:
+    index = GUFIIndex.open(args.index_root)
+    tools = GUFITools(index, creds=_creds(args), nthreads=args.nthreads)
+    print(tools.du(args.start, use_tsummary=args.tsummary))
+    return 0
+
+
+def cmd_rollup(args: argparse.Namespace) -> int:
+    index = GUFIIndex.open(args.index_root)
+    stats = rollup(index, limit=args.limit, nthreads=args.nthreads)
+    print(
+        f"rolled {stats.rolled}/{stats.total_dirs} dirs in "
+        f"{stats.elapsed:.2f}s (blocked: {stats.blocked_perms} perms, "
+        f"{stats.blocked_limit} limit, {stats.blocked_child} child); "
+        f"visible DBs now {visible_db_count(index)}"
+    )
+    return 0
+
+
+def cmd_unrollup(args: argparse.Namespace) -> int:
+    index = GUFIIndex.open(args.index_root)
+    unrollup_dir(index, args.dir)
+    print(f"unrolled {args.dir}")
+    return 0
+
+
+def cmd_bfti(args: argparse.Namespace) -> int:
+    index = GUFIIndex.open(args.index_root)
+    result = build_tsummary(index, args.start)
+    print(
+        f"tsummary at {args.start}: {result.rows_written} rows from "
+        f"{result.dirs_scanned} dirs in {result.seconds:.2f}s"
+    )
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    index = GUFIIndex.open(args.index_root)
+    if args.full:
+        from repro.core.stats import collect_stats, render_stats
+
+        stats = collect_stats(
+            index, start=args.start, creds=_creds(args), nthreads=args.nthreads
+        )
+        print(render_stats(stats))
+        return 0
+    n_dbs = index.count_dbs()
+    print(f"databases:   {n_dbs}")
+    print(f"visible DBs: {visible_db_count(index)}")
+    print(f"entries:     {index.total_entries()}")
+    print(f"index bytes: {index.total_db_bytes()}")
+    return 0
+
+
+def cmd_search(args: argparse.Namespace) -> int:
+    """The portal search bar from the command line."""
+    from repro.core.search import parse
+
+    index = GUFIIndex.open(args.index_root)
+    spec = parse(args.query, now=args.now).to_spec()
+    q = GUFIQuery(index, creds=_creds(args), nthreads=args.nthreads)
+    result = q.run(spec, args.start)
+    for row in sorted(result.rows):
+        print("\t".join(str(v) for v in row))
+    print(
+        f"# {len(result.rows)} matches from {result.dirs_visited} dirs",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_split_trace(args: argparse.Namespace) -> int:
+    from repro.scan.trace import split_trace
+
+    parts = split_trace(args.trace, args.dest_dir, args.parts)
+    for p in parts:
+        print(p)
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    from repro import harness
+
+    which = args.which
+    runners = {
+        "fig1": lambda: print(harness.fig1().render()),
+        "table1": lambda: print(harness.table1().render()),
+        "fig7": lambda: print(harness.fig7().render()),
+        "fig8": lambda: _print_fig8(),
+        "fig9": lambda: print(harness.fig9().render()),
+        "fig10": lambda: _print_fig10(),
+        "rollup": lambda: print(harness.rollup_reduction().render()),
+        "ingest": lambda: print(harness.ingest_rate().render()),
+    }
+
+    def _print_fig8():
+        a, c, _ = harness.fig8()
+        print(a.render())
+        print()
+        print(c.render())
+
+    def _print_fig10():
+        a, b = harness.fig10()
+        print(a.render())
+        print()
+        print(b.render())
+
+    targets = list(runners) if which == "all" else [which]
+    for t in targets:
+        runners[t]()
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-gufi",
+        description="GUFI reproduction: index, query, and benchmark tools",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("trace2index", help="ingest a trace file into an index")
+    p.add_argument("trace")
+    p.add_argument("index_root")
+    _add_threads(p)
+    p.set_defaults(func=cmd_trace2index)
+
+    p = sub.add_parser("demo-index", help="generate a demo namespace and index it")
+    p.add_argument("index_root")
+    p.add_argument("--scale", type=float, default=0.0005)
+    _add_threads(p)
+    p.set_defaults(func=cmd_demo_index)
+
+    p = sub.add_parser("query", help="run raw gufi_query-style SQL")
+    p.add_argument("index_root")
+    p.add_argument("--start", default="/")
+    p.add_argument("-I", dest="init", default=None)
+    p.add_argument("-T", dest="tsum", default=None)
+    p.add_argument("-S", dest="sum", default=None)
+    p.add_argument("-E", dest="entries", default=None)
+    p.add_argument("-J", dest="join", default=None)
+    p.add_argument("-G", dest="final", default=None)
+    p.add_argument("--xattrs", action="store_true")
+    p.add_argument("-o", "--output", default=None,
+                   help="stream rows to per-thread files <prefix>.<n>")
+    _add_threads(p)
+    _add_identity(p)
+    p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser("find", help="gufi_find")
+    p.add_argument("index_root")
+    p.add_argument("--start", default="/")
+    p.add_argument("--name", default=None, help="SQL LIKE pattern")
+    p.add_argument("--type", default=None, choices=["f", "l"])
+    p.add_argument("--min-size", type=int, default=None)
+    p.add_argument("--max-size", type=int, default=None)
+    _add_threads(p)
+    _add_identity(p)
+    p.set_defaults(func=cmd_find)
+
+    p = sub.add_parser("du", help="gufi_du")
+    p.add_argument("index_root")
+    p.add_argument("--start", default="/")
+    p.add_argument("--tsummary", action="store_true")
+    _add_threads(p)
+    _add_identity(p)
+    p.set_defaults(func=cmd_du)
+
+    p = sub.add_parser("rollup", help="roll up an index (admin)")
+    p.add_argument("index_root")
+    p.add_argument("-L", "--limit", type=int, default=None)
+    _add_threads(p)
+    p.set_defaults(func=cmd_rollup)
+
+    p = sub.add_parser("unrollup", help="undo one directory's rollup (admin)")
+    p.add_argument("index_root")
+    p.add_argument("dir")
+    p.set_defaults(func=cmd_unrollup)
+
+    p = sub.add_parser("bfti", help="build tree summary (admin)")
+    p.add_argument("index_root")
+    p.add_argument("--start", default="/")
+    p.set_defaults(func=cmd_bfti)
+
+    p = sub.add_parser("stats", help="index statistics")
+    p.add_argument("index_root")
+    p.add_argument("--full", action="store_true",
+                   help="full gufi_stats-style characterisation")
+    p.add_argument("--start", default="/")
+    _add_threads(p)
+    _add_identity(p)
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("search", help="portal search-bar query language")
+    p.add_argument("index_root")
+    p.add_argument("query", help="e.g. '*.h5 size>>100m older:90d'")
+    p.add_argument("--start", default="/")
+    p.add_argument("--now", type=int, default=None,
+                   help="reference timestamp for older:/newer:")
+    _add_threads(p)
+    _add_identity(p)
+    p.set_defaults(func=cmd_search)
+
+    p = sub.add_parser("split-trace",
+                       help="split a trace for distributed ingest")
+    p.add_argument("trace")
+    p.add_argument("dest_dir")
+    p.add_argument("-p", "--parts", type=int, default=4)
+    p.set_defaults(func=cmd_split_trace)
+
+    p = sub.add_parser("experiments", help="regenerate paper tables/figures")
+    p.add_argument(
+        "which",
+        choices=["fig1", "table1", "fig7", "fig8", "fig9", "fig10",
+                 "rollup", "ingest", "all"],
+    )
+    p.set_defaults(func=cmd_experiments)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,306 @@
+"""Index construction tools (paper §III-A3, §III-C1).
+
+Two paths mirror GUFI's tool pair:
+
+* :func:`dir2index` — in-situ: the parallel breadth-first scan of the
+  source tree creates each directory's database as the directory is
+  encountered (``gufi_dir2index``);
+* :func:`trace2index` — post-processing: a previously written trace
+  file (possibly from a faster custom scanner on another machine) is
+  ingested in parallel (``gufi_trace2index``).
+
+Both funnel into :func:`build_dir_db`, which writes one directory's
+``entries`` rows, ``summary`` record(s), and xattr shards.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.fs.tree import VFSTree
+from repro.scan.scanners import record_from_inode
+from repro.scan.trace import DirStanza, TraceRecord, read_trace
+from repro.scan.walker import ParallelTreeWalker
+
+from . import db as dbmod
+from . import schema
+from .index import GUFIIndex
+from .xattrs import shard_xattrs, write_xattr_shards
+
+
+@dataclass
+class BuildOptions:
+    """Knobs for index construction."""
+
+    nthreads: int = 8
+    #: index xattr values (with per-user/per-group sharding)
+    with_xattrs: bool = True
+    #: also write per-user and per-group summary records (rectype 1/2)
+    per_user_group_summaries: bool = False
+
+
+@dataclass
+class BuildResult:
+    index: GUFIIndex
+    seconds: float
+    dirs_created: int
+    entries_inserted: int
+    side_dbs_created: int
+
+    @property
+    def dirs_per_second(self) -> float:
+        return self.dirs_created / self.seconds if self.seconds > 0 else 0.0
+
+    @property
+    def rows_per_second(self) -> float:
+        total = self.dirs_created + self.entries_inserted
+        return total / self.seconds if self.seconds > 0 else 0.0
+
+
+def summary_rows(
+    stanza: DirStanza, depth: int, per_user_group: bool
+) -> list[tuple]:
+    """Build the summary record(s) for one directory.
+
+    The overall (rectype 0) record carries the directory's own inode
+    attributes — the query engine's permission source — plus the
+    aggregates §III-B lists. Optional rectype 1/2 records restrict the
+    aggregates to one uid/gid, making per-user/per-group queries a
+    single-row read.
+    """
+    d = stanza.directory
+
+    def aggregate(rows: list[TraceRecord], rectype: int, uid: int, gid: int) -> tuple:
+        files = [r for r in rows if r.ftype == "f"]
+        links = [r for r in rows if r.ftype == "l"]
+        sizes = [r.size for r in files]
+        mtimes = [r.mtime for r in rows]
+        atimes = [r.atime for r in rows]
+        uids = [r.uid for r in rows]
+        gids = [r.gid for r in rows]
+        totxattr = sum(1 for r in rows if r.xattrs)
+        return (
+            d.name if rectype == schema.RECTYPE_OVERALL else d.name,
+            rectype,
+            1,  # isroot
+            d.ino,
+            d.mode,
+            d.nlink,
+            uid,
+            gid,
+            d.size,
+            d.blksize,
+            d.blocks,
+            d.atime,
+            d.mtime,
+            d.ctime,
+            len(files),
+            len(links),
+            max(0, d.nlink - 2),  # POSIX: nlink = 2 + subdir count
+            min(uids) if uids else None,
+            max(uids) if uids else None,
+            min(gids) if gids else None,
+            max(gids) if gids else None,
+            min(sizes) if sizes else None,
+            max(sizes) if sizes else None,
+            sum(r.size for r in files) + sum(r.size for r in links),
+            min(mtimes) if mtimes else None,
+            max(mtimes) if mtimes else None,
+            min(atimes) if atimes else None,
+            max(atimes) if atimes else None,
+            totxattr,
+            0,  # rolledup
+            0,  # rollup_entries
+            depth,
+        )
+
+    rows = [aggregate(stanza.entries, schema.RECTYPE_OVERALL, d.uid, d.gid)]
+    if per_user_group:
+        by_uid: dict[int, list[TraceRecord]] = {}
+        by_gid: dict[int, list[TraceRecord]] = {}
+        for r in stanza.entries:
+            by_uid.setdefault(r.uid, []).append(r)
+            by_gid.setdefault(r.gid, []).append(r)
+        for uid, rs in sorted(by_uid.items()):
+            rows.append(aggregate(rs, schema.RECTYPE_USER, uid, d.gid))
+        for gid, rs in sorted(by_gid.items()):
+            rows.append(aggregate(rs, schema.RECTYPE_GROUP, d.uid, gid))
+    return rows
+
+
+_SUMMARY_INSERT = (
+    "INSERT INTO summary ("
+    + ", ".join(schema.SUMMARY_COLUMNS)
+    + ") VALUES ("
+    + ", ".join("?" * len(schema.SUMMARY_COLUMNS))
+    + ")"
+)
+
+_ENTRIES_INSERT = (
+    "INSERT INTO entries ("
+    + ", ".join(schema.ENTRIES_COLUMNS)
+    + ") VALUES ("
+    + ", ".join("?" * len(schema.ENTRIES_COLUMNS))
+    + ")"
+)
+
+
+def entry_row(rec: TraceRecord) -> tuple:
+    return (
+        rec.name,
+        rec.ftype,
+        rec.ino,
+        rec.mode,
+        rec.nlink,
+        rec.uid,
+        rec.gid,
+        rec.size,
+        rec.blksize,
+        rec.blocks,
+        rec.atime,
+        rec.mtime,
+        rec.ctime,
+        rec.linkname,
+        schema.pack_xattr_names(rec.xattrs),
+    )
+
+
+def build_dir_db(
+    index: GUFIIndex, stanza: DirStanza, opts: BuildOptions
+) -> tuple[int, int]:
+    """Create one directory's index database. Returns
+    (entries inserted, side databases created)."""
+    src_path = stanza.directory.path
+    index_dir = index.index_dir(src_path)
+    os.makedirs(index_dir, exist_ok=True)
+    depth = 0 if src_path == "/" else src_path.count("/")
+    conn = dbmod.create_db(index_dir / schema.DB_NAME)
+    side = 0
+    try:
+        conn.execute("BEGIN")
+        conn.executemany(
+            _ENTRIES_INSERT, [entry_row(r) for r in stanza.entries]
+        )
+        conn.executemany(
+            _SUMMARY_INSERT,
+            summary_rows(stanza, depth, opts.per_user_group_summaries),
+        )
+        conn.execute("COMMIT")
+        if opts.with_xattrs:
+            shards = shard_xattrs(stanza.directory, stanza.entries)
+            side = write_xattr_shards(index_dir, conn, shards)
+    finally:
+        conn.close()
+    index.apply_physical_mode(src_path, stanza.directory.mode)
+    return len(stanza.entries), side
+
+
+def trace2index(
+    trace_path: Path | str,
+    index_root: Path | str,
+    opts: BuildOptions | None = None,
+    source_name: str = "",
+) -> BuildResult:
+    """Ingest a trace file into a new index, in parallel.
+
+    Stanzas are independent units of work (their directory paths are
+    created with ``makedirs``), so the ingest fans every stanza out to
+    the thread pool — the paper's parallel ingest tool.
+    """
+    opts = opts or BuildOptions()
+    stanzas = list(read_trace(Path(trace_path)))
+    return build_from_stanzas(stanzas, index_root, opts, source_name)
+
+
+def build_from_stanzas(
+    stanzas: list[DirStanza],
+    index_root: Path | str,
+    opts: BuildOptions | None = None,
+    source_name: str = "",
+) -> BuildResult:
+    """Build an index from in-memory stanzas (the in-situ fast path)."""
+    opts = opts or BuildOptions()
+    index = GUFIIndex.create(index_root, source_name)
+    counters = {"entries": 0, "side": 0}
+    import threading
+
+    lock = threading.Lock()
+
+    def expand(stanza: DirStanza) -> list:
+        n, s = build_dir_db(index, stanza, opts)
+        with lock:
+            counters["entries"] += n
+            counters["side"] += s
+        return []
+
+    t0 = time.monotonic()
+    walker = ParallelTreeWalker(opts.nthreads)
+    stats = walker.walk(stanzas, expand)
+    elapsed = time.monotonic() - t0
+    if stats.errors:
+        item, exc = stats.errors[0]
+        raise RuntimeError(
+            f"index build failed for {item.directory.path!r}: {exc}"
+        ) from exc
+    return BuildResult(
+        index=index,
+        seconds=elapsed,
+        dirs_created=len(stanzas),
+        entries_inserted=counters["entries"],
+        side_dbs_created=counters["side"],
+    )
+
+
+def dir2index(
+    tree: VFSTree,
+    index_root: Path | str,
+    top: str = "/",
+    opts: BuildOptions | None = None,
+    source_name: str = "",
+) -> BuildResult:
+    """Scan a source tree and build its index in one pass
+    (``gufi_dir2index``): each directory's database is written by the
+    same thread that scanned it, skipping the trace stage entirely."""
+    opts = opts or BuildOptions()
+    index = GUFIIndex.create(index_root, source_name)
+    counters = {"dirs": 0, "entries": 0, "side": 0}
+    import posixpath
+    import threading
+
+    lock = threading.Lock()
+
+    def expand(dirpath: str) -> list[str]:
+        dir_inode = tree.get_inode(dirpath)
+        entries = tree.readdir(dirpath)
+        stanza = DirStanza(directory=record_from_inode(dirpath, dir_inode))
+        subdirs = []
+        for e in entries:
+            child = posixpath.join(dirpath, e.name)
+            if e.ftype.value == "d":
+                subdirs.append(child)
+            else:
+                stanza.entries.append(record_from_inode(child, tree.get_inode(child)))
+        n, s = build_dir_db(index, stanza, opts)
+        with lock:
+            counters["dirs"] += 1
+            counters["entries"] += n
+            counters["side"] += s
+        return subdirs
+
+    t0 = time.monotonic()
+    walker = ParallelTreeWalker(opts.nthreads)
+    stats = walker.walk([posixpath.normpath(top)], expand)
+    elapsed = time.monotonic() - t0
+    if stats.errors:
+        item, exc = stats.errors[0]
+        raise RuntimeError(f"index build failed for {item!r}: {exc}") from exc
+    return BuildResult(
+        index=index,
+        seconds=elapsed,
+        dirs_created=counters["dirs"],
+        entries_inserted=counters["entries"],
+        side_dbs_created=counters["side"],
+    )

@@ -1,0 +1,203 @@
+"""On-disk GUFI index layout.
+
+A GUFI index is *just files and directories* (paper §III-A1): the
+source tree's directory structure is recreated under an index root,
+and each directory holds one ``db.db`` plus any per-user/per-group
+xattr side databases. That property — the index is manageable with
+ordinary file tools, snapshotable, rsyncable, composable — is load-
+bearing, so this module puts real directories and real SQLite files on
+the local file system rather than abstracting them away.
+
+Directory ownership and permission bits from the source tree are
+preserved in each directory's ``summary`` record (rectype 0,
+``isroot=1``). In the paper the bits are also applied to the physical
+index directories so the kernel enforces them; we apply ``chmod``
+best-effort for fidelity, but enforcement is performed by the query
+engine against the summary record (see DESIGN.md substitutions — a
+single-uid container cannot rely on kernel checks for other uids).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+from collections.abc import Iterator
+from dataclasses import dataclass
+from pathlib import Path
+
+from . import db as dbmod
+from . import schema
+
+META_FILE = "gufi_index.json"
+
+
+@dataclass(frozen=True)
+class DirMeta:
+    """The traversal-relevant metadata of one index directory, read
+    from its summary record — the moral equivalent of ``stat`` on the
+    directory during descent."""
+
+    inode: int
+    mode: int
+    uid: int
+    gid: int
+    rolledup: bool
+    rollup_entries: int
+
+
+class IndexError_(Exception):
+    """Raised for structurally invalid indexes."""
+
+
+class GUFIIndex:
+    """Handle to an index rooted at a real directory.
+
+    The index mirrors source paths: source ``/home/u1/x`` lives at
+    ``<root>/home/u1/x/db.db``. ``root`` itself mirrors the source
+    ``/``.
+    """
+
+    def __init__(self, root: Path | str):
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------
+    # Creation / opening
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, root: Path | str, source_name: str = "") -> "GUFIIndex":
+        root = Path(root)
+        root.mkdir(parents=True, exist_ok=True)
+        idx = cls(root)
+        idx._write_meta(
+            {
+                "format": "gufi-repro-1",
+                "source": source_name,
+                "created_at": time.time(),
+            }
+        )
+        return idx
+
+    @classmethod
+    def open(cls, root: Path | str) -> "GUFIIndex":
+        root = Path(root)
+        if not (root / META_FILE).exists():
+            raise IndexError_(f"{root} is not a GUFI index (missing {META_FILE})")
+        return cls(root)
+
+    def _write_meta(self, meta: dict) -> None:
+        (self.root / META_FILE).write_text(json.dumps(meta, indent=2))
+
+    @property
+    def meta(self) -> dict:
+        return json.loads((self.root / META_FILE).read_text())
+
+    # ------------------------------------------------------------------
+    # Path mapping
+    # ------------------------------------------------------------------
+    def index_dir(self, source_path: str) -> Path:
+        """Index directory for a source path (``/`` maps to the root)."""
+        rel = source_path.lstrip("/")
+        return self.root / rel if rel else self.root
+
+    def source_path(self, index_dir: Path) -> str:
+        """Inverse of :meth:`index_dir`."""
+        rel = index_dir.relative_to(self.root)
+        return "/" + str(rel) if str(rel) != "." else "/"
+
+    def db_path(self, source_path: str) -> Path:
+        return self.index_dir(source_path) / schema.DB_NAME
+
+    # ------------------------------------------------------------------
+    # Enumeration / statistics
+    # ------------------------------------------------------------------
+    def iter_index_dirs(self, start: str = "/") -> Iterator[Path]:
+        """All index directories (depth-first) containing a ``db.db``."""
+        base = self.index_dir(start)
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames.sort()
+            if schema.DB_NAME in filenames:
+                yield Path(dirpath)
+
+    def count_dbs(self, start: str = "/") -> int:
+        return sum(1 for _ in self.iter_index_dirs(start))
+
+    def total_db_bytes(self, start: str = "/", include_side_dbs: bool = True) -> int:
+        """Total on-disk size of all database files — Fig 8b's
+        numerator."""
+        total = 0
+        base = self.index_dir(start)
+        for dirpath, _, filenames in os.walk(base):
+            for fn in filenames:
+                if fn == schema.DB_NAME or (
+                    include_side_dbs and fn.startswith("xattrs.db")
+                ):
+                    total += dbmod.db_file_bytes(os.path.join(dirpath, fn))
+        return total
+
+    def total_entries(self, start: str = "/") -> int:
+        """Sum of original entries rows across the index (excludes
+        rolled-up duplicates in pentries)."""
+        total = 0
+        for d in self.iter_index_dirs(start):
+            conn = dbmod.open_ro(d / schema.DB_NAME)
+            try:
+                (n,) = conn.execute("SELECT COUNT(*) FROM entries").fetchone()
+                total += n
+            finally:
+                conn.close()
+        return total
+
+    # ------------------------------------------------------------------
+    # Per-directory metadata
+    # ------------------------------------------------------------------
+    @staticmethod
+    def read_dir_meta(conn: sqlite3.Connection, alias: str = "main") -> DirMeta:
+        """Read the directory's own summary record from an open
+        connection (the descent-time 'stat'). ``alias`` qualifies the
+        schema when the database is ATTACHed rather than main."""
+        row = conn.execute(
+            f"SELECT inode, mode, uid, gid, rolledup, rollup_entries "
+            f"FROM {alias}.summary WHERE isroot = 1 AND rectype = ? LIMIT 1",
+            (schema.RECTYPE_OVERALL,),
+        ).fetchone()
+        if row is None:
+            raise IndexError_("index database has no directory summary record")
+        return DirMeta(
+            inode=row[0],
+            mode=row[1],
+            uid=row[2],
+            gid=row[3],
+            rolledup=bool(row[4]),
+            rollup_entries=row[5],
+        )
+
+    def dir_meta(self, source_path: str) -> DirMeta:
+        conn = dbmod.open_ro(self.db_path(source_path))
+        try:
+            return self.read_dir_meta(conn)
+        finally:
+            conn.close()
+
+    def subdir_names(self, source_path: str) -> list[str]:
+        """Names of index sub-directories (the physical readdir the
+        query engine performs during descent)."""
+        base = self.index_dir(source_path)
+        out = []
+        try:
+            with os.scandir(base) as it:
+                for de in it:
+                    if de.is_dir(follow_symlinks=False):
+                        out.append(de.name)
+        except FileNotFoundError:
+            raise IndexError_(f"no index directory for {source_path!r}") from None
+        return sorted(out)
+
+    def apply_physical_mode(self, source_path: str, mode: int) -> None:
+        """Best-effort chmod of the physical index directory, for
+        fidelity with the paper's kernel-enforced layout."""
+        try:
+            os.chmod(self.index_dir(source_path), mode & 0o777 | 0o700)
+        except OSError:
+            pass  # enforcement is engine-side; physical bits are cosmetic

@@ -1,0 +1,465 @@
+"""The parallel index query engine (paper §III-C2, ``gufi_query``).
+
+A query descends the index breadth-first with a thread pool — each
+directory's database processed by one thread — executing user SQL at
+up to four points, mirroring ``gufi_query``'s flags:
+
+* ``I`` — run once per worker thread against its private result
+  database (create scratch tables);
+* ``T`` — run against a directory's ``tsummary`` table; when tsummary
+  rows exist the whole subtree is already summarised, so descent is
+  pruned (this is Fig 10's 230× query 4);
+* ``S`` — run against the directory's ``summary`` table;
+* ``E`` — run against ``entries``/``pentries`` (and the xattr views
+  when enabled);
+* ``J`` — run once per thread database to merge its results into the
+  shared aggregate database;
+* ``G`` — run once against the aggregate database to produce the
+  final rows.
+
+Security (§III-A5): databases are opened read-only; traversal enforces
+POSIX permissions against each directory's preserved mode/uid/gid —
+search (``x``) to pass through, read (``r``) to list/process — so an
+unprivileged query touches only data its credentials could reach on
+the source file system, and its cost is proportional to what it can
+see, not to index size.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.fs.permissions import (
+    ROOT,
+    Credentials,
+    can_read_dir,
+    can_search_dir,
+)
+from repro.scan.walker import ParallelTreeWalker, WalkStats
+from repro.sim.blktrace import IOTracer
+
+from . import db as dbmod
+from . import schema
+from .index import DirMeta, GUFIIndex
+from .sqlfuncs import QueryContext, register
+from .xattrs import build_xattr_views, drop_xattr_views
+
+
+class QueryPermissionError(PermissionError):
+    """The query root (or an ancestor of it) is not searchable."""
+
+
+@dataclass
+class QuerySpec:
+    """One query, in ``gufi_query`` flag terms."""
+
+    I: str | None = None  # noqa: E741 - matches the tool's flag name
+    T: str | None = None
+    S: str | None = None
+    E: str | None = None
+    J: str | None = None
+    G: str | None = None
+    #: build the per-user temporary xattr views for E queries
+    xattrs: bool = False
+    #: stop T-pruning (process tsummary but keep descending)
+    t_no_prune: bool = False
+    #: stream SELECT rows to per-thread files ``<prefix>.<n>`` instead
+    #: of accumulating them in memory (the real tool's ``-o`` flag,
+    #: for result sets too large to hold). Tab-separated, one row per
+    #: line; QueryResult.rows stays empty for streamed stages.
+    output_prefix: str | None = None
+
+
+@dataclass
+class QueryResult:
+    rows: list[tuple]
+    elapsed: float
+    dirs_visited: int
+    dirs_denied: int
+    dbs_opened: int
+    #: directories skipped because their database was corrupt/unreadable
+    dirs_errored: int = 0
+    #: per-thread output files when QuerySpec.output_prefix was used
+    output_files: list[str] | None = None
+    walk_stats: WalkStats | None = None
+
+    def scalar(self):
+        """Convenience for single-value results."""
+        if not self.rows or not self.rows[0]:
+            return None
+        return self.rows[0][0]
+
+
+class _ThreadState:
+    """Per-worker-thread connection + context."""
+
+    __slots__ = ("conn", "ctx", "db_path", "out", "out_path")
+
+    def __init__(self, conn: sqlite3.Connection, ctx: QueryContext, db_path: str):
+        self.conn = conn
+        self.ctx = ctx
+        self.db_path = db_path
+        self.out = None  # lazily opened per-thread output file
+        self.out_path: str | None = None
+
+
+class GUFIQuery:
+    """Query executor bound to an index, credentials, and a pool size."""
+
+    def __init__(
+        self,
+        index: GUFIIndex,
+        creds: Credentials = ROOT,
+        nthreads: int = 8,
+        tracer: IOTracer | None = None,
+        users: dict[int, str] | None = None,
+        groups: dict[int, str] | None = None,
+    ):
+        self.index = index
+        self.creds = creds
+        self.nthreads = nthreads
+        self.tracer = tracer
+        self.users = users or {}
+        self.groups = groups or {}
+
+    # ------------------------------------------------------------------
+    # Permission helpers
+    # ------------------------------------------------------------------
+    def _read_meta(self, source_path: str) -> DirMeta | None:
+        """The descent-time 'stat' of an index directory: a one-row
+        read of its summary record (untraced — the paper's blktrace
+        accounting also excludes dirent/inode reads)."""
+        db_path = self.index.db_path(source_path)
+        if not db_path.exists():
+            return None
+        conn = dbmod.open_ro(db_path)
+        try:
+            return self.index.read_dir_meta(conn)
+        except Exception:
+            return None
+        finally:
+            conn.close()
+
+    def _check_root_reachable(self, start: str) -> None:
+        """Every ancestor of the query root must grant search (x) —
+        the kernel's path-walk rule, reproduced for the index."""
+        parts = [p for p in start.split("/") if p]
+        cur = ""
+        for part in parts[:-1] if parts else []:
+            cur = f"{cur}/{part}"
+            meta = self._read_meta(cur)
+            if meta is None:
+                raise FileNotFoundError(f"no index directory for {cur!r}")
+            if not can_search_dir(meta.mode, meta.uid, meta.gid, self.creds):
+                raise QueryPermissionError(
+                    f"permission denied traversing {cur!r}"
+                )
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def run_single(self, spec: QuerySpec, path: str = "/") -> QueryResult:
+        """Process exactly one directory's database (no descent) —
+        what ``gufi_ls`` of a single directory needs. The same
+        permission rules apply: ancestors must be searchable, the
+        directory itself readable."""
+        path = "/" + "/".join(p for p in path.split("/") if p)
+        self._check_root_reachable(path)
+        meta = self._read_meta(path)
+        if meta is None:
+            raise FileNotFoundError(f"no index directory for {path!r}")
+        if not can_search_dir(meta.mode, meta.uid, meta.gid, self.creds):
+            raise QueryPermissionError(f"permission denied: {path!r}")
+        if not can_read_dir(meta.mode, meta.uid, meta.gid, self.creds):
+            raise QueryPermissionError(f"permission denied (unreadable): {path!r}")
+        index_dir = self.index.index_dir(path)
+        conn = sqlite3.connect(":memory:", uri=True)
+        try:
+            ctx = QueryContext(
+                current_path=path,
+                current_depth=0 if path == "/" else path.count("/"),
+                users=self.users,
+                groups=self.groups,
+            )
+            register(conn, ctx)
+            if spec.I:
+                conn.executescript(spec.I)
+            dbmod.attach_ro(conn, index_dir / schema.DB_NAME, "gufi", self.tracer)
+            rows: list[tuple] = []
+            aliases: list[str] = []
+            if spec.xattrs:
+                aliases = build_xattr_views(
+                    conn, index_dir, self.creds, "gufi", self.tracer
+                )
+            try:
+                for sql in (spec.T, spec.S, spec.E):
+                    if sql:
+                        cur = conn.execute(sql)
+                        if cur.description is not None:
+                            rows.extend(cur.fetchall())
+            finally:
+                if spec.xattrs:
+                    drop_xattr_views(conn, aliases)
+        finally:
+            conn.close()
+        return QueryResult(
+            rows=rows, elapsed=0.0, dirs_visited=1, dirs_denied=0, dbs_opened=1
+        )
+
+    def run(self, spec: QuerySpec, start: str = "/") -> QueryResult:
+        start = "/" + "/".join(p for p in start.split("/") if p)
+        self._check_root_reachable(start)
+        if not self.index.db_path(start).exists():
+            raise FileNotFoundError(f"no index directory for {start!r}")
+
+        tmpdir = tempfile.mkdtemp(prefix="gufi_query_")
+        states: dict[int, _ThreadState] = {}
+        states_lock = threading.Lock()
+        counters = {"visited": 0, "denied": 0, "opened": 0, "errored": 0}
+        rows: list[tuple] = []
+        rows_lock = threading.Lock()
+
+        def thread_state() -> _ThreadState:
+            tid = threading.get_ident()
+            with states_lock:
+                st = states.get(tid)
+                if st is None:
+                    db_path = os.path.join(tmpdir, f"thread_{len(states)}.db")
+                    # uri=True so read-only ATTACH URIs are honoured on
+                    # this connection (SQLITE_OPEN_URI is per-connection).
+                    conn = sqlite3.connect(
+                        f"file:{db_path}",
+                        uri=True,
+                        check_same_thread=False,
+                        isolation_level=None,
+                    )
+                    conn.execute("PRAGMA journal_mode = MEMORY")
+                    conn.execute("PRAGMA synchronous = OFF")
+                    ctx = QueryContext(users=self.users, groups=self.groups)
+                    register(conn, ctx)
+                    if spec.I:
+                        conn.executescript(spec.I)
+                    st = _ThreadState(conn, ctx, db_path)
+                    if spec.output_prefix is not None:
+                        st.out_path = f"{spec.output_prefix}.{len(states)}"
+                        st.out = open(st.out_path, "w", encoding="utf-8")
+                    states[tid] = st
+                return st
+
+        def run_sql(st: _ThreadState, sql: str) -> list[tuple]:
+            cur = st.conn.execute(sql)
+            if cur.description is not None:
+                return cur.fetchall()
+            return []
+
+        def expand(source_path: str) -> list[str]:
+            st = thread_state()
+            st.ctx.current_path = source_path
+            st.ctx.current_depth = 0 if source_path == "/" else source_path.count("/")
+            index_dir = self.index.index_dir(source_path)
+            db_path = index_dir / schema.DB_NAME
+            if not db_path.exists():
+                return []
+            # One attach serves both the descent-time permission check
+            # (reading the directory's summary record — the 'stat')
+            # and, if allowed, the per-directory queries. The tracer
+            # is charged only for permitted reads: a denied user's
+            # query never pulls the database's pages in the paper's
+            # accounting either, because the kernel refuses the open.
+            try:
+                dbmod.attach_ro(st.conn, db_path, "gufi", tracer=None)
+            except sqlite3.DatabaseError:
+                with rows_lock:
+                    counters["errored"] += 1
+                return []
+            pruned = False
+            local_rows: list[tuple] = []
+            try:
+                try:
+                    meta = self.index.read_dir_meta(st.conn, "gufi")
+                except sqlite3.DatabaseError:
+                    # A corrupt or truncated shard must not kill the
+                    # whole query: count it and move on (the paper's
+                    # answer to shard damage is the periodic rebuild).
+                    with rows_lock:
+                        counters["errored"] += 1
+                    return []
+                except Exception:
+                    return []
+                # x on the directory: required to pass through; r: to
+                # enumerate its contents (database rows and sub-dirs).
+                if not can_search_dir(
+                    meta.mode, meta.uid, meta.gid, self.creds
+                ) or not can_read_dir(meta.mode, meta.uid, meta.gid, self.creds):
+                    with rows_lock:
+                        counters["denied"] += 1
+                    return []
+                if self.tracer is not None:
+                    # Entry-level queries read the whole database;
+                    # summary/tsummary-only queries read just those
+                    # tables' pages (the schema's headline win).
+                    if spec.E or not (spec.S or spec.T):
+                        nbytes = dbmod.db_file_bytes(db_path)
+                    else:
+                        tables = set()
+                        if spec.S:
+                            tables.add("summary")
+                        if spec.T:
+                            tables.add("tsummary")
+                        nbytes = dbmod.table_bytes(st.conn, "gufi", tables)
+                    self.tracer.record(str(db_path), nbytes)
+                with rows_lock:
+                    counters["visited"] += 1
+                    counters["opened"] += 1
+                if spec.T:
+                    (n_ts,) = st.conn.execute(
+                        "SELECT COUNT(*) FROM gufi.tsummary"
+                    ).fetchone()
+                    if n_ts:
+                        local_rows.extend(run_sql(st, spec.T))
+                        if not spec.t_no_prune:
+                            pruned = True
+                if not pruned:
+                    aliases: list[str] = []
+                    if spec.xattrs:
+                        aliases = build_xattr_views(
+                            st.conn, index_dir, self.creds, "gufi", self.tracer
+                        )
+                    try:
+                        if spec.S:
+                            local_rows.extend(run_sql(st, spec.S))
+                        if spec.E:
+                            local_rows.extend(run_sql(st, spec.E))
+                    finally:
+                        if spec.xattrs:
+                            drop_xattr_views(st.conn, aliases)
+            finally:
+                st.conn.commit()
+                dbmod.detach(st.conn, "gufi")
+            if local_rows:
+                if st.out is not None:
+                    for row in local_rows:
+                        st.out.write(
+                            "\t".join(
+                                "" if v is None else str(v) for v in row
+                            )
+                            + "\n"
+                        )
+                else:
+                    with rows_lock:
+                        rows.extend(local_rows)
+            # Rolled-up databases already contain their whole subtree:
+            # descending would double-count (§III-C3).
+            if pruned or meta.rolledup:
+                return []
+            prefix = "" if source_path == "/" else source_path
+            return [f"{prefix}/{name}" for name in self.index.subdir_names(source_path)]
+
+        t0 = time.monotonic()
+        walker = ParallelTreeWalker(self.nthreads)
+        stats = walker.walk([start], expand)
+        elapsed = time.monotonic() - t0
+
+        # ------------------------------------------------------------------
+        # Merge phase: J per thread database, then G on the aggregate.
+        # ------------------------------------------------------------------
+        final_rows = rows
+        try:
+            if spec.J or spec.G:
+                agg_path = os.path.join(tmpdir, "aggregate.db")
+                agg = sqlite3.connect(agg_path)
+                try:
+                    if spec.I:
+                        agg.executescript(spec.I)
+                    agg.commit()
+                finally:
+                    agg.close()
+                if spec.J:
+                    for st in states.values():
+                        st.conn.execute(
+                            "ATTACH DATABASE ? AS aggregate", (agg_path,)
+                        )
+                        st.conn.executescript(spec.J)
+                        st.conn.commit()
+                        st.conn.execute("DETACH DATABASE aggregate")
+                if spec.G:
+                    agg = sqlite3.connect(agg_path)
+                    try:
+                        register(agg, QueryContext(users=self.users, groups=self.groups))
+                        cur = agg.execute(spec.G)
+                        if cur.description is not None:
+                            final_rows = rows + cur.fetchall()
+                    finally:
+                        agg.close()
+        finally:
+            output_files = []
+            for st in states.values():
+                st.conn.close()
+                if st.out is not None:
+                    st.out.close()
+                    output_files.append(st.out_path)
+            _cleanup_dir(tmpdir)
+
+        if stats.errors:
+            item, exc = stats.errors[0]
+            raise RuntimeError(f"query failed at {item!r}: {exc}") from exc
+
+        return QueryResult(
+            rows=final_rows,
+            elapsed=elapsed,
+            dirs_visited=counters["visited"],
+            dirs_denied=counters["denied"],
+            dbs_opened=counters["opened"],
+            dirs_errored=counters["errored"],
+            output_files=sorted(output_files) if output_files else None,
+            walk_stats=stats,
+        )
+
+
+def _cleanup_dir(path: str) -> None:
+    for name in os.listdir(path):
+        try:
+            os.unlink(os.path.join(path, name))
+        except OSError:
+            pass
+    try:
+        os.rmdir(path)
+    except OSError:
+        pass
+
+
+# ----------------------------------------------------------------------
+# The paper's four macro-benchmark queries (§IV-D / appendix), as specs.
+# ----------------------------------------------------------------------
+
+#: Query 1: list all file names accessible by the user (the paper's
+#: exact SQL; names only).
+Q1_LIST_NAMES = QuerySpec(E="SELECT name FROM pentries")
+
+#: Query 1 variant returning full paths, rollup-invariant thanks to
+#: the vrpentries summary join (GUFI's rpath machinery).
+Q1_LIST_PATHS = QuerySpec(E="SELECT rpath(dname, d_isroot, name) FROM vrpentries")
+
+#: Query 2: print size and name of every accessible directory.
+#: spath() reconstructs each directory's path whether the row is the
+#: database's own record or one rolled in from a sub-directory.
+Q2_DIR_SIZES = QuerySpec(S="SELECT spath(name, isroot), size FROM summary")
+
+#: Query 3: space used, computed by aggregating per-directory
+#: summaries and entries across the traversal (the multi-database way).
+Q3_DU_SUMMARIES = QuerySpec(
+    I="CREATE TABLE sizes (total_size INTEGER)",
+    S="INSERT INTO sizes SELECT TOTAL(size) FROM summary",
+    E="INSERT INTO sizes SELECT TOTAL(size) FROM pentries",
+    J="INSERT INTO aggregate.sizes SELECT TOTAL(total_size) FROM sizes",
+    G="SELECT TOTAL(total_size) FROM sizes",
+)
+
+#: Query 4: space used, answered from the tree-summary table — a
+#: single row read when a tsummary exists at the query root.
+Q4_DU_TSUMMARY = QuerySpec(T="SELECT totsize FROM tsummary WHERE rectype = 0")

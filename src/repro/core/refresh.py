@@ -1,0 +1,226 @@
+"""Periodic index refresh with atomic swap (paper §III-A4).
+
+Production GUFI rebuilds each file system's index on a pull interval
+(the paper's site: every 4 hours) and publishes the new build by
+renaming a symbolic link: queries in flight keep reading the old
+version, new queries see the new one, and for a while *two complete
+namespace snapshots* coexist — which the paper notes "enables new
+query types that can passively measure data movement within and
+between file systems".
+
+:class:`IndexRefresher` manages that lifecycle for one source tree:
+
+* versioned build directories (``v0000``, ``v0001``, ...) under one
+  publication root;
+* a ``current`` symlink atomically repointed after each build;
+* retention of the previous N versions for cross-version diffing;
+* :meth:`diff_latest` — the passive data-movement query between the
+  two most recent builds, computed from the indexes themselves.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.fs.tree import VFSTree
+from repro.fs.snapshot import snapshot
+
+from . import db as dbmod
+from .build import BuildOptions, dir2index
+from .index import GUFIIndex
+
+CURRENT_LINK = "current"
+
+
+@dataclass
+class RefreshRecord:
+    """One completed refresh."""
+
+    version: int
+    path: Path
+    built_at: float
+    seconds: float
+    dirs: int
+    entries: int
+
+
+@dataclass
+class IndexDiff:
+    """Entry-level delta between two index versions (paths keyed by
+    (parent inode is not stable across scans, so paths are used))."""
+
+    created: list[str] = field(default_factory=list)
+    removed: list[str] = field(default_factory=list)
+    resized: list[str] = field(default_factory=list)
+    bytes_delta: int = 0
+
+    @property
+    def total_mutations(self) -> int:
+        return len(self.created) + len(self.removed) + len(self.resized)
+
+
+class IndexRefresher:
+    """Versioned publisher of a source tree's index."""
+
+    def __init__(
+        self,
+        source: VFSTree,
+        publish_root: Path | str,
+        opts: BuildOptions | None = None,
+        keep_versions: int = 2,
+    ):
+        if keep_versions < 1:
+            raise ValueError("keep_versions must be >= 1")
+        self.source = source
+        self.root = Path(publish_root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.opts = opts or BuildOptions()
+        self.keep_versions = keep_versions
+        self.history: list[RefreshRecord] = []
+        self._next_version = self._discover_next_version()
+
+    def _discover_next_version(self) -> int:
+        versions = [
+            int(p.name[1:])
+            for p in self.root.iterdir()
+            if p.is_dir() and p.name.startswith("v") and p.name[1:].isdigit()
+        ]
+        return max(versions, default=-1) + 1
+
+    # ------------------------------------------------------------------
+    # Publication
+    # ------------------------------------------------------------------
+    @property
+    def current_path(self) -> Path:
+        return self.root / CURRENT_LINK
+
+    def current(self) -> GUFIIndex:
+        """The published index (what client /search mounts resolve to)."""
+        target = self.current_path
+        if not target.exists():
+            raise FileNotFoundError("no index published yet")
+        return GUFIIndex.open(target.resolve())
+
+    def versions(self) -> list[Path]:
+        """On-disk versions, oldest first."""
+        return sorted(
+            (
+                p
+                for p in self.root.iterdir()
+                if p.is_dir() and p.name.startswith("v")
+            ),
+            key=lambda p: int(p.name[1:]),
+        )
+
+    def refresh(self) -> RefreshRecord:
+        """One pull cycle: snapshot the source, build a new version,
+        swap the ``current`` symlink atomically, retire old versions.
+
+        The snapshot gives the scan a consistent image (the WAFL/ZFS
+        path of §III-A3); the swap is a single ``rename``, so a reader
+        resolving ``current`` sees either the old or the new index,
+        never a half-built one.
+        """
+        version = self._next_version
+        self._next_version += 1
+        dest = self.root / f"v{version:04d}"
+        t0 = time.monotonic()
+        frozen = snapshot(self.source)
+        result = dir2index(
+            frozen, dest, opts=self.opts,
+            source_name=f"refresh-v{version}",
+        )
+        elapsed = time.monotonic() - t0
+        # Atomic publish: build the new link under a temp name, then
+        # rename over the old one (rename(2) replaces atomically).
+        tmp_link = self.root / f".{CURRENT_LINK}.tmp"
+        if tmp_link.is_symlink() or tmp_link.exists():
+            tmp_link.unlink()
+        os.symlink(dest.name, tmp_link)
+        os.replace(tmp_link, self.current_path)
+        record = RefreshRecord(
+            version=version,
+            path=dest,
+            built_at=time.time(),
+            seconds=elapsed,
+            dirs=result.dirs_created,
+            entries=result.entries_inserted,
+        )
+        self.history.append(record)
+        self._retire_old_versions()
+        return record
+
+    def _retire_old_versions(self) -> None:
+        versions = self.versions()
+        current_target = (
+            self.current_path.resolve().name
+            if self.current_path.exists()
+            else None
+        )
+        excess = len(versions) - self.keep_versions
+        for path in versions:
+            if excess <= 0:
+                break
+            if path.name == current_target:
+                continue  # never delete what 'current' points at
+            shutil.rmtree(path)
+            excess -= 1
+
+    # ------------------------------------------------------------------
+    # Cross-version analysis (§III-A4's passive data-movement query)
+    # ------------------------------------------------------------------
+    def diff_latest(self) -> IndexDiff:
+        """Compare the two most recent versions entry-by-entry using
+        only the indexes (no source access): which files appeared,
+        vanished, or changed size between builds."""
+        versions = self.versions()
+        if len(versions) < 2:
+            raise ValueError("need two versions to diff")
+        old = GUFIIndex.open(versions[-2])
+        new = GUFIIndex.open(versions[-1])
+        return diff_indexes(old, new)
+
+
+def _index_entries(index: GUFIIndex) -> dict[str, int]:
+    """path → size for every entry, read straight from the databases
+    (admin-side: no permission gating needed for the comparison)."""
+    out: dict[str, int] = {}
+    for d in index.iter_index_dirs():
+        sp = index.source_path(d)
+        prefix = "" if sp == "/" else sp
+        conn = dbmod.open_ro(d / "db.db")
+        try:
+            for name, size in conn.execute(
+                "SELECT name, size FROM entries"
+            ):
+                out[f"{prefix}/{name}"] = size
+        finally:
+            conn.close()
+    return out
+
+
+def diff_indexes(old: GUFIIndex, new: GUFIIndex) -> IndexDiff:
+    """Entry-level delta between two indexes of the same namespace."""
+    old_map = _index_entries(old)
+    new_map = _index_entries(new)
+    diff = IndexDiff()
+    for path, size in new_map.items():
+        prev = old_map.get(path)
+        if prev is None:
+            diff.created.append(path)
+            diff.bytes_delta += size
+        elif prev != size:
+            diff.resized.append(path)
+            diff.bytes_delta += size - prev
+    for path, size in old_map.items():
+        if path not in new_map:
+            diff.removed.append(path)
+            diff.bytes_delta -= size
+    diff.created.sort()
+    diff.removed.sort()
+    diff.resized.sort()
+    return diff

@@ -1,0 +1,451 @@
+"""Permissions-based index rollup (paper §III-C3).
+
+A database per directory makes permission enforcement trivial but
+yields millions of tiny databases — each open costs time and even an
+empty SQLite file is ~12 KB of reads. Rollup merges a sub-tree's data
+upward into its top directory's database *when and only when doing so
+cannot widen visibility*: every target/sub-directory pair must satisfy
+one of four permission-compatibility conditions, and every
+sub-directory below the target must itself already be rolled up
+(leaves are rolled up by definition).
+
+Mechanics per rolled directory (paper's exact sequence):
+
+1. drop the ``pentries`` view and materialise a ``pentries`` *table*
+   seeded from the directory's own ``entries`` rows;
+2. copy each child's ``pentries`` rows in (children were rolled first,
+   so this captures their whole sub-trees) — ``entries`` is never
+   touched, preserving the original data;
+3. copy each child's ``summary`` rows in, path-prefixed and marked
+   ``isroot=0``;
+4. merge xattr stores the same way (main-db rows and per-user /
+   per-group side databases, all marked ``isroot=0``);
+5. flag the directory ``rolledup`` with its merged entry count.
+
+Rolled-up children stay on disk, so queries may start anywhere and
+rollups can be undone per-directory (:func:`unrollup_dir`) without
+touching any other directory — the property the incremental update
+tool relies on.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.scan.walker import ParallelTreeWalker
+
+from . import db as dbmod
+from . import schema
+from .index import GUFIIndex
+from .xattrs import side_db_name  # noqa: F401  (re-exported for tools)
+
+
+# ----------------------------------------------------------------------
+# Permission-compatibility conditions (§III-C3, verbatim)
+# ----------------------------------------------------------------------
+
+def _reader_set_included(
+    p_mode: int, p_uid: int, p_gid: int, c_mode: int, c_uid: int, c_gid: int
+) -> bool:
+    """Exact safety predicate: every credential that may read+search
+    the parent may also read+search the child, for *all* possible
+    credentials. Access depends only on the predicates ``uid == x``
+    and ``gid ∈ groups``, so enumerating representative credentials —
+    each relevant uid plus a fresh one, against every subset of the
+    relevant gids — is exhaustive."""
+    from repro.fs.permissions import Credentials, can_read_dir, can_search_dir
+
+    fresh_uid = max(p_uid, c_uid) + 1
+    fresh_gid = max(p_gid, c_gid) + 1
+    gid_pool = {p_gid, c_gid}
+    subsets = [set(), {p_gid}, {c_gid}, set(gid_pool)]
+    for uid in (p_uid, c_uid, fresh_uid):
+        if uid == 0:
+            continue  # root reads everything everywhere
+        for groups in subsets:
+            creds = Credentials(
+                uid=uid, gid=next(iter(groups), fresh_gid),
+                groups=frozenset(groups),
+            )
+            parent_ok = can_read_dir(
+                p_mode, p_uid, p_gid, creds
+            ) and can_search_dir(p_mode, p_uid, p_gid, creds)
+            child_ok = can_read_dir(
+                c_mode, c_uid, c_gid, creds
+            ) and can_search_dir(c_mode, c_uid, c_gid, creds)
+            if parent_ok and not child_ok:
+                return False
+    return True
+
+
+def rollup_compatible(
+    p_mode: int, p_uid: int, p_gid: int, c_mode: int, c_uid: int, c_gid: int
+) -> bool:
+    """May a child with (c_mode, c_uid, c_gid) be merged into a parent
+    with (p_mode, p_uid, p_gid)?
+
+    The paper's four conditions are the fast path. They are however
+    stated in terms of *granted* bits, while POSIX permission classes
+    do not fall through: a directory like ``0o705`` denies its group
+    what it grants the world, so condition 1 (both ``o+rx``) alone
+    would let group members gain access through a merge. The exact
+    reader-set-inclusion guard closes that corner; for conventional
+    modes it never fires.
+    """
+    # 1) World readable and executable (o+rx) on both.
+    if (p_mode & 0o005) == 0o005 and (c_mode & 0o005) == 0o005:
+        return _reader_set_included(p_mode, p_uid, p_gid, c_mode, c_uid, c_gid)
+    # 2) Matching permissions (ugo), same user and group.
+    if p_mode == c_mode and p_uid == c_uid and p_gid == c_gid:
+        return True
+    # 3) Matching user+group permissions, ug+rx, same user and group,
+    #    and o-rx.
+    if (
+        (p_mode & 0o770) == (c_mode & 0o770)
+        and p_uid == c_uid
+        and p_gid == c_gid
+        and (p_mode & 0o550) == 0o550
+        and (c_mode & 0o550) == 0o550
+        and (p_mode & 0o005) == 0
+        and (c_mode & 0o005) == 0
+    ):
+        return True
+    # 4) Matching user permissions, u+rx, same user, go-rx.
+    if (
+        (p_mode & 0o700) == (c_mode & 0o700)
+        and p_uid == c_uid
+        and (p_mode & 0o500) == 0o500
+        and (c_mode & 0o500) == 0o500
+        and (p_mode & 0o055) == 0
+        and (c_mode & 0o055) == 0
+    ):
+        return True
+    return False
+
+
+@dataclass
+class RollupStats:
+    """Outcome of a rollup pass."""
+
+    total_dirs: int = 0
+    rolled: int = 0  # directories whose databases absorbed children
+    blocked_perms: int = 0
+    blocked_limit: int = 0
+    blocked_child: int = 0  # an unrolled child blocked the parent
+    elapsed: float = 0.0
+
+    @property
+    def not_rolled(self) -> int:
+        return self.blocked_perms + self.blocked_limit + self.blocked_child
+
+
+@dataclass
+class _DirState:
+    """Per-directory decision state threaded through the bottom-up pass."""
+
+    rolled: bool  # usable by the parent (leaves: trivially True)
+    entry_count: int  # pentries rows the parent would absorb
+    mode: int = 0
+    uid: int = 0
+    gid: int = 0
+
+
+_SUMMARY_COPY_COLS = ", ".join(schema.SUMMARY_COLUMNS)
+# SELECT list matching SUMMARY_COLUMNS with the copied row's name
+# path-prefixed and isroot forced to 0.
+_SUMMARY_COPY_SELECT = ", ".join(
+    "CASE WHEN isroot = 1 THEN ? ELSE ? || '/' || name END"
+    if c == "name"
+    else ("0" if c == "isroot" else c)
+    for c in schema.SUMMARY_COLUMNS
+)
+
+
+def _merge_child(
+    conn: sqlite3.Connection,
+    parent_dir: Path,
+    child_name: str,
+) -> None:
+    """Steps 2–4 for one child: pentries, summary, xattr stores."""
+    child_db = parent_dir / child_name / schema.DB_NAME
+    conn.execute("ATTACH DATABASE ? AS child", (str(child_db),))
+    try:
+        conn.execute("INSERT INTO pentries SELECT * FROM child.pentries")
+        conn.execute(
+            f"INSERT INTO summary ({_SUMMARY_COPY_COLS}) "
+            f"SELECT {_SUMMARY_COPY_SELECT} FROM child.summary",
+            (child_name, child_name),
+        )
+        conn.execute(
+            "INSERT INTO xattrs (exinode, exattrs, isroot) "
+            "SELECT exinode, exattrs, 0 FROM child.xattrs"
+        )
+        side_rows = conn.execute(
+            "SELECT filename, uid, gid, mode FROM child.xattrs_avail"
+        ).fetchall()
+    finally:
+        conn.execute("DETACH DATABASE child")
+    # Per-user / per-group side databases merge into same-protection
+    # side databases of the parent (created on demand, tracked with
+    # isroot=0 so unrollup can remove them).
+    for filename, uid, gid, mode in side_rows:
+        src = parent_dir / child_name / filename
+        dst = parent_dir / filename
+        if not src.exists():
+            continue
+        existed = dst.exists()
+        dst_conn = dbmod.create_side_db(dst)
+        try:
+            dst_conn.execute("ATTACH DATABASE ? AS src", (str(src),))
+            dst_conn.execute(
+                "INSERT INTO xattrs (exinode, exattrs, isroot) "
+                "SELECT exinode, exattrs, 0 FROM src.xattrs"
+            )
+            dst_conn.commit()
+            dst_conn.execute("DETACH DATABASE src")
+        finally:
+            dst_conn.close()
+        if not existed:
+            conn.execute(
+                "INSERT INTO xattrs_avail (filename, uid, gid, mode, isroot) "
+                "VALUES (?,?,?,?,0)",
+                (filename, uid, gid, mode),
+            )
+
+
+def rollup_dir(index: GUFIIndex, source_path: str, child_names: list[str]) -> int:
+    """Perform the merge for one directory (conditions already
+    verified by the caller). Returns the merged pentries row count."""
+    parent_dir = index.index_dir(source_path)
+    conn = dbmod.open_rw(parent_dir / schema.DB_NAME)
+    try:
+        conn.execute("DROP VIEW IF EXISTS pentries")
+        conn.execute(schema.CREATE_PENTRIES_TABLE)
+        conn.execute(
+            "INSERT INTO pentries SELECT entries.*, "
+            "(SELECT inode FROM summary WHERE isroot=1 AND rectype=0) "
+            "FROM entries"
+        )
+        for child in child_names:
+            _merge_child(conn, parent_dir, child)
+        (count,) = conn.execute("SELECT COUNT(*) FROM pentries").fetchone()
+        conn.execute(
+            "UPDATE summary SET rolledup = 1, rollup_entries = ? "
+            "WHERE isroot = 1 AND rectype = 0",
+            (count,),
+        )
+        conn.commit()
+        return count
+    finally:
+        conn.close()
+
+
+def unrollup_dir(index: GUFIIndex, source_path: str) -> None:
+    """Undo one directory's rollup — independent of every other
+    directory's rollup state (§III-C3's lightweight-undo property)."""
+    parent_dir = index.index_dir(source_path)
+    conn = dbmod.open_rw(parent_dir / schema.DB_NAME)
+    try:
+        meta = index.read_dir_meta(conn)
+        if not meta.rolledup:
+            return  # nothing to undo
+        conn.execute("DROP TABLE IF EXISTS pentries")
+        conn.execute(schema.CREATE_PENTRIES_VIEW)
+        conn.execute("DELETE FROM summary WHERE isroot = 0")
+        conn.execute("DELETE FROM xattrs WHERE isroot = 0")
+        created = conn.execute(
+            "SELECT filename FROM xattrs_avail WHERE isroot = 0"
+        ).fetchall()
+        for (filename,) in created:
+            try:
+                os.unlink(parent_dir / filename)
+            except OSError:
+                pass
+        conn.execute("DELETE FROM xattrs_avail WHERE isroot = 0")
+        # Pre-existing side databases may still hold rolled-in rows.
+        kept = conn.execute(
+            "SELECT filename FROM xattrs_avail WHERE isroot = 1"
+        ).fetchall()
+        for (filename,) in kept:
+            path = parent_dir / filename
+            if not path.exists():
+                continue
+            side = dbmod.open_rw(path)
+            try:
+                side.execute("DELETE FROM xattrs WHERE isroot = 0")
+                side.commit()
+            finally:
+                side.close()
+        conn.execute(
+            "UPDATE summary SET rolledup = 0, rollup_entries = 0 "
+            "WHERE isroot = 1 AND rectype = 0"
+        )
+        conn.commit()
+    finally:
+        conn.close()
+
+
+def rollup(
+    index: GUFIIndex,
+    limit: int | None = None,
+    nthreads: int = 8,
+    start: str = "/",
+) -> RollupStats:
+    """Roll up an index bottom-up, bounded by ``limit`` merged entries
+    per database (``None`` = unlimited, the paper's MAX; the paper's
+    sweet spot for dataset 2 was 250 K).
+
+    Directories at the same depth are independent, so each depth level
+    is processed by the thread pool; levels run deepest-first because
+    a parent's decision needs its children's outcomes.
+    """
+    t0 = time.monotonic()
+    stats = RollupStats()
+    dirs_by_depth: dict[int, list[str]] = {}
+    for d in index.iter_index_dirs(start):
+        sp = index.source_path(d)
+        depth = 0 if sp == "/" else sp.count("/")
+        dirs_by_depth.setdefault(depth, []).append(sp)
+    stats.total_dirs = sum(len(v) for v in dirs_by_depth.values())
+
+    states: dict[str, _DirState] = {}
+    lock = threading.Lock()
+
+    def process(source_path: str) -> list:
+        conn = dbmod.open_ro(index.db_path(source_path))
+        try:
+            meta = index.read_dir_meta(conn)
+            (own_entries,) = conn.execute(
+                "SELECT COUNT(*) FROM entries"
+            ).fetchone()
+        finally:
+            conn.close()
+        children = index.subdir_names(source_path)
+        prefix = "" if source_path == "/" else source_path
+        child_states = []
+        ok = True
+        reason = None
+        total = own_entries
+        for name in children:
+            cs = states.get(f"{prefix}/{name}")
+            if cs is None or not cs.rolled:
+                ok, reason = False, "child"
+                break
+            if not rollup_compatible(
+                meta.mode, meta.uid, meta.gid, cs.mode, cs.uid, cs.gid
+            ):
+                ok, reason = False, "perms"
+                break
+            child_states.append((name, cs))
+            total += cs.entry_count
+        if ok and limit is not None and total > limit:
+            ok, reason = False, "limit"
+        if ok and children:
+            if meta.rolledup:
+                # idempotent re-run: already rolled; trust stored count
+                total = meta.rollup_entries
+            else:
+                total = rollup_dir(index, source_path, children)
+            with lock:
+                stats.rolled += 1
+        elif not ok:
+            with lock:
+                if reason == "perms":
+                    stats.blocked_perms += 1
+                elif reason == "limit":
+                    stats.blocked_limit += 1
+                else:
+                    stats.blocked_child += 1
+        # Leaves (no children) are rolled up by definition: usable by
+        # the parent without any database modification.
+        with lock:
+            states[source_path] = _DirState(
+                rolled=ok,
+                entry_count=total,
+                mode=meta.mode,
+                uid=meta.uid,
+                gid=meta.gid,
+            )
+        return []
+
+    walker = ParallelTreeWalker(nthreads)
+    for depth in sorted(dirs_by_depth, reverse=True):
+        result = walker.walk(dirs_by_depth[depth], process)
+        if result.errors:
+            item, exc = result.errors[0]
+            raise RuntimeError(f"rollup failed at {item!r}: {exc}") from exc
+    stats.elapsed = time.monotonic() - t0
+    return stats
+
+
+def visible_db_count(index: GUFIIndex, start: str = "/") -> int:
+    """Databases a full traversal from ``start`` opens: descent prunes
+    beneath rolled-up directories. This is the paper's '386× reduction
+    in the number of databases' metric (Fig 8b's x-axis companion)."""
+    count = 0
+    stack = [start]
+    while stack:
+        sp = stack.pop()
+        db_path = index.db_path(sp)
+        if not db_path.exists():
+            continue
+        count += 1
+        meta = index.dir_meta(sp)
+        if meta.rolledup:
+            continue
+        prefix = "" if sp == "/" else sp
+        stack.extend(f"{prefix}/{n}" for n in index.subdir_names(sp))
+    return count
+
+
+def visible_db_bytes(index: GUFIIndex, start: str = "/") -> int:
+    """Bytes a full traversal reads: the database files of every
+    visible directory (rolled-up children stay on disk but are never
+    opened, so they do not count). This is Fig 8b's space metric —
+    per-query read volume — which rollup shrinks by eliminating the
+    ~12 KB fixed overhead of thousands of tiny databases."""
+    total = 0
+    stack = [start]
+    while stack:
+        sp = stack.pop()
+        db_path = index.db_path(sp)
+        if not db_path.exists():
+            continue
+        total += dbmod.db_file_bytes(db_path)
+        idx_dir = index.index_dir(sp)
+        try:
+            for name in os.listdir(idx_dir):
+                if name.startswith("xattrs.db"):
+                    total += dbmod.db_file_bytes(idx_dir / name)
+        except OSError:
+            pass
+        meta = index.dir_meta(sp)
+        if meta.rolledup:
+            continue
+        prefix = "" if sp == "/" else sp
+        stack.extend(f"{prefix}/{n}" for n in index.subdir_names(sp))
+    return total
+
+
+def largest_visible_db_bytes(index: GUFIIndex, start: str = "/") -> int:
+    """Size of the largest database a traversal touches (Fig 8c's
+    tail-latency driver)."""
+    largest = 0
+    stack = [start]
+    while stack:
+        sp = stack.pop()
+        db_path = index.db_path(sp)
+        if not db_path.exists():
+            continue
+        largest = max(largest, dbmod.db_file_bytes(db_path))
+        meta = index.dir_meta(sp)
+        if meta.rolledup:
+            continue
+        prefix = "" if sp == "/" else sp
+        stack.extend(f"{prefix}/{n}" for n in index.subdir_names(sp))
+    return largest

@@ -1,0 +1,271 @@
+"""The deployment access layer (paper §III-A5, Fig 4).
+
+In production, users never log into the GUFI server: client-side tools
+(or the web portal) send remote invocations through a **restricted
+shell** that (a) authenticates the caller against the site identity
+service (LDAP) on *every* query, so permission changes take effect
+immediately, (b) allows only the GUFI tools to run, and (c) hands the
+query engine the caller's uid/gid/groups so index traversal is
+permission-gated.
+
+This module reproduces that layer: an :class:`IdentityProvider` is the
+LDAP stand-in, :class:`GUFIServer` the restricted entry point, and
+:class:`QueryPortal` the web portal's pre-generated query set ("the
+user's largest files and their most recently accessed files").
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.fs.permissions import Credentials
+
+from .index import GUFIIndex
+from .query import GUFIQuery, QueryResult, QuerySpec
+from .tools import FindFilters, GUFITools
+
+
+class AuthenticationError(PermissionError):
+    """Unknown or disabled principal."""
+
+
+class ToolNotAllowed(PermissionError):
+    """The restricted shell rejects anything but the GUFI tools."""
+
+
+@dataclass
+class IdentityProvider:
+    """LDAP-like directory: username → (uid, gid, groups, enabled).
+
+    Queries resolve the caller *at call time* (no session caching), so
+    revoking a user or changing their groups is effective on their
+    next query — the property §III-A5 calls out.
+    """
+
+    _users: dict[str, dict] = field(default_factory=dict)
+
+    def add_user(
+        self,
+        username: str,
+        uid: int,
+        gid: int,
+        groups: frozenset[int] = frozenset(),
+        enabled: bool = True,
+    ) -> None:
+        self._users[username] = {
+            "uid": uid, "gid": gid, "groups": frozenset(groups),
+            "enabled": enabled,
+        }
+
+    def disable(self, username: str) -> None:
+        try:
+            self._users[username]["enabled"] = False
+        except KeyError:
+            raise AuthenticationError(f"unknown user {username!r}") from None
+
+    def enable(self, username: str) -> None:
+        try:
+            self._users[username]["enabled"] = True
+        except KeyError:
+            raise AuthenticationError(f"unknown user {username!r}") from None
+
+    def set_groups(self, username: str, groups: frozenset[int]) -> None:
+        try:
+            self._users[username]["groups"] = frozenset(groups)
+        except KeyError:
+            raise AuthenticationError(f"unknown user {username!r}") from None
+
+    def authenticate(self, username: str) -> Credentials:
+        rec = self._users.get(username)
+        if rec is None or not rec["enabled"]:
+            raise AuthenticationError(f"authentication failed for {username!r}")
+        return Credentials(uid=rec["uid"], gid=rec["gid"], groups=rec["groups"])
+
+    @classmethod
+    def from_passwd(
+        cls, passwd_text: str, group_text: str = ""
+    ) -> "IdentityProvider":
+        """Load users from ``/etc/passwd``-format text and (optionally)
+        supplementary memberships from ``/etc/group``-format text —
+        how a site bootstraps the directory from its existing NSS data.
+
+        passwd: ``name:x:uid:gid:gecos:home:shell`` (first 4 fields used)
+        group:  ``name:x:gid:member1,member2``
+        """
+        idp = cls()
+        memberships: dict[str, set[int]] = {}
+        for line in group_text.splitlines():
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(":")
+            if len(parts) < 4:
+                continue
+            try:
+                gid = int(parts[2])
+            except ValueError:
+                continue
+            for member in parts[3].split(","):
+                member = member.strip()
+                if member:
+                    memberships.setdefault(member, set()).add(gid)
+        for line in passwd_text.splitlines():
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(":")
+            if len(parts) < 4:
+                continue
+            name = parts[0]
+            try:
+                uid, gid = int(parts[2]), int(parts[3])
+            except ValueError:
+                continue
+            idp.add_user(
+                name, uid=uid, gid=gid,
+                groups=frozenset(memberships.get(name, set())),
+            )
+        return idp
+
+    def uid_map(self) -> dict[int, str]:
+        """uid → username, for uidtouser() in query output."""
+        return {rec["uid"]: name for name, rec in self._users.items()}
+
+
+#: tools a remote invocation may name — the restricted shell's whitelist
+ALLOWED_TOOLS = frozenset({"query", "find", "ls", "du", "dir_sizes",
+                           "largest_files", "recently_modified",
+                           "space_by_user", "xattr_search"})
+
+
+@dataclass
+class InvocationLog:
+    """One audited remote invocation."""
+
+    username: str
+    tool: str
+    start: str
+    at: float
+    ok: bool
+
+
+class GUFIServer:
+    """The index host's restricted entry point.
+
+    Every invocation re-authenticates, is checked against the tool
+    whitelist, runs with the caller's credentials, and is audited.
+    All database opens happen read-only (enforced downstream).
+    """
+
+    def __init__(
+        self,
+        index: GUFIIndex,
+        identity: IdentityProvider,
+        nthreads: int = 8,
+    ):
+        self.index = index
+        self.identity = identity
+        self.nthreads = nthreads
+        self.audit_log: list[InvocationLog] = []
+
+    def _tools_for(self, username: str) -> GUFITools:
+        creds = self.identity.authenticate(username)
+        return GUFITools(
+            self.index, creds=creds, nthreads=self.nthreads,
+            users=self.identity.uid_map(),
+        )
+
+    def invoke(
+        self,
+        username: str,
+        tool: str,
+        start: str = "/",
+        **kwargs,
+    ):
+        """A remote invocation: ``ssh gufi-server <tool> <args>``.
+
+        Raises :class:`ToolNotAllowed` for anything off the whitelist
+        and :class:`AuthenticationError` for unknown/disabled users —
+        *before* touching the index either way.
+        """
+        ok = False
+        try:
+            if tool not in ALLOWED_TOOLS:
+                raise ToolNotAllowed(
+                    f"{tool!r} is not available through the restricted shell"
+                )
+            tools = self._tools_for(username)
+            if tool == "query":
+                spec = kwargs.pop("spec")
+                if not isinstance(spec, QuerySpec):
+                    raise TypeError("query requires a QuerySpec")
+                creds = self.identity.authenticate(username)
+                q = GUFIQuery(
+                    self.index, creds=creds, nthreads=self.nthreads,
+                    users=self.identity.uid_map(),
+                )
+                result: QueryResult = q.run(spec, start)
+                ok = True
+                return result
+            method = getattr(tools, tool)
+            if tool in ("find",):
+                result = method(start, kwargs.pop("filters", None))
+            elif tool in ("ls",):
+                result = method(start, **kwargs)
+            else:
+                result = method(start, **kwargs)
+            ok = True
+            return result
+        finally:
+            self.audit_log.append(
+                InvocationLog(
+                    username=username, tool=tool, start=start,
+                    at=time.time(), ok=ok,
+                )
+            )
+
+
+class QueryPortal:
+    """The web portal's pre-generated query set (§III-A5): canned,
+    parameter-free reports a browser button triggers. Each call
+    re-authenticates through the server."""
+
+    def __init__(self, server: GUFIServer):
+        self.server = server
+
+    def my_largest_files(self, username: str, limit: int = 10):
+        return self.server.invoke(
+            username, "largest_files", "/", limit=limit
+        )
+
+    def my_recent_files(self, username: str, limit: int = 20):
+        return self.server.invoke(
+            username, "recently_modified", "/", limit=limit
+        )
+
+    def my_space_usage(self, username: str) -> int:
+        creds = self.server.identity.authenticate(username)
+        usage = self.server.invoke(username, "space_by_user", "/")
+        return usage.get(creds.uid, 0)
+
+    def my_stale_data(
+        self, username: str, older_than: int, min_size: int = 0
+    ):
+        creds = self.server.identity.authenticate(username)
+        return self.server.invoke(
+            username, "find", "/",
+            filters=FindFilters(
+                uid=creds.uid, mtime_before=older_than, min_size=min_size,
+                ftype="f",
+            ),
+        )
+
+    def search(self, username: str, query: str, start: str = "/",
+               now: int | None = None):
+        """The search bar: parse the portal query language and run it
+        with the caller's credentials (see :mod:`repro.core.search`)."""
+        from .search import parse
+
+        spec = parse(query, now=now).to_spec()
+        return self.server.invoke(username, "query", start, spec=spec)

@@ -1,0 +1,204 @@
+"""Tree-summary construction (paper §III-B, the ``bfti`` tool).
+
+``tsummary`` tables are not created during index construction; an
+administrator triggers them per subtree. The resulting rows summarise
+*everything* beneath a directory — sizes, entry counts, user/group
+counts, depth — so queries like "space used by this tree" become a
+single-row read at the query root (Fig 10's 230× query 4). Overall,
+per-user, and per-group records are written, making per-user summary
+queries equally cheap.
+
+The builder traverses the index the same way a query does — pruning
+beneath rolled-up directories and reading their merged ``pentries`` /
+``summary`` rows instead — which is why the paper measures tsummary
+construction at 14.8 s on an un-rolled index but 0.368 s after a 250 K
+rollup.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from . import db as dbmod
+from . import schema
+from .index import GUFIIndex
+
+
+@dataclass
+class _Agg:
+    """Accumulator for one (rectype, uid, gid) bucket."""
+
+    totfiles: int = 0
+    totlinks: int = 0
+    totsubdirs: int = 0
+    totsize: int = 0
+    minsize: int | None = None
+    maxsize: int | None = None
+    minmtime: int | None = None
+    maxmtime: int | None = None
+    maxdepth: int = 0
+    totxattr: int = 0
+    uids: set[int] = field(default_factory=set)
+    gids: set[int] = field(default_factory=set)
+
+    def add_entry(
+        self, ftype: str, size: int, mtime: int, uid: int, gid: int, has_xattr: bool
+    ) -> None:
+        if ftype == "f":
+            self.totfiles += 1
+            self.minsize = size if self.minsize is None else min(self.minsize, size)
+            self.maxsize = size if self.maxsize is None else max(self.maxsize, size)
+        elif ftype == "l":
+            self.totlinks += 1
+        self.totsize += size
+        self.minmtime = mtime if self.minmtime is None else min(self.minmtime, mtime)
+        self.maxmtime = mtime if self.maxmtime is None else max(self.maxmtime, mtime)
+        if has_xattr:
+            self.totxattr += 1
+        self.uids.add(uid)
+        self.gids.add(gid)
+
+    def add_dir(
+        self, size: int, depth: int, uid: int, gid: int, count_dir: bool = True
+    ) -> None:
+        """``count_dir=False`` for the start directory itself: its size
+        belongs to the tree total but it is not its own sub-directory."""
+        if count_dir:
+            self.totsubdirs += 1
+        self.totsize += size
+        self.maxdepth = max(self.maxdepth, depth)
+        self.uids.add(uid)
+        self.gids.add(gid)
+
+    def row(self, rectype: int, uid: int, gid: int) -> tuple:
+        return (
+            rectype,
+            uid,
+            gid,
+            self.totfiles,
+            self.totlinks,
+            self.totsubdirs,
+            self.totsize,
+            self.minsize,
+            self.maxsize,
+            self.minmtime,
+            self.maxmtime,
+            self.maxdepth,
+            self.totxattr,
+            len(self.uids),
+            len(self.gids),
+        )
+
+
+_TS_INSERT = (
+    "INSERT INTO tsummary ("
+    + ", ".join(schema.TSUMMARY_COLUMNS)
+    + ") VALUES ("
+    + ", ".join("?" * len(schema.TSUMMARY_COLUMNS))
+    + ")"
+)
+
+
+@dataclass
+class TSummaryResult:
+    seconds: float
+    dirs_scanned: int
+    rows_written: int
+
+
+def build_tsummary(
+    index: GUFIIndex,
+    start: str = "/",
+    per_user_group: bool = True,
+) -> TSummaryResult:
+    """Build (replacing any previous) tsummary rows at ``start``.
+
+    The subtree walk prunes beneath rolled-up directories: their
+    ``summary`` tables already contain one row per merged directory
+    and their ``pentries`` tables every merged entry, so one database
+    read covers the whole rolled sub-tree.
+    """
+    t0 = time.monotonic()
+    overall = _Agg()
+    by_uid: dict[int, _Agg] = {}
+    by_gid: dict[int, _Agg] = {}
+    dirs_scanned = 0
+
+    start = "/" + "/".join(p for p in start.split("/") if p)
+    stack = [start]
+    while stack:
+        sp = stack.pop()
+        db_path = index.db_path(sp)
+        if not db_path.exists():
+            continue
+        dirs_scanned += 1
+        conn = dbmod.open_ro(db_path)
+        try:
+            meta = index.read_dir_meta(conn)
+            # Every summary row (original + rolled-in) is one directory;
+            # the start directory's own row contributes size but is not
+            # counted as a sub-directory of itself.
+            for size, depth, uid, gid, inode in conn.execute(
+                "SELECT size, depth, uid, gid, inode FROM summary "
+                "WHERE rectype = 0"
+            ):
+                is_start = sp == start and inode == meta.inode
+                overall.add_dir(size, depth, uid, gid, count_dir=not is_start)
+                if per_user_group:
+                    by_uid.setdefault(uid, _Agg()).add_dir(
+                        size, depth, uid, gid, count_dir=not is_start
+                    )
+                    by_gid.setdefault(gid, _Agg()).add_dir(
+                        size, depth, uid, gid, count_dir=not is_start
+                    )
+            # pentries covers the directory's own entries plus, when
+            # rolled up, every merged sub-directory's entries.
+            for ftype, size, mtime, uid, gid, xnames in conn.execute(
+                "SELECT type, size, mtime, uid, gid, xattr_names FROM pentries"
+            ):
+                has_x = bool(xnames)
+                overall.add_entry(ftype, size, mtime, uid, gid, has_x)
+                if per_user_group:
+                    by_uid.setdefault(uid, _Agg()).add_entry(
+                        ftype, size, mtime, uid, gid, has_x
+                    )
+                    by_gid.setdefault(gid, _Agg()).add_entry(
+                        ftype, size, mtime, uid, gid, has_x
+                    )
+        finally:
+            conn.close()
+        if meta.rolledup:
+            continue
+        prefix = "" if sp == "/" else sp
+        stack.extend(f"{prefix}/{n}" for n in index.subdir_names(sp))
+
+    rows = [overall.row(schema.RECTYPE_OVERALL, 0, 0)]
+    if per_user_group:
+        for uid in sorted(by_uid):
+            rows.append(by_uid[uid].row(schema.RECTYPE_USER, uid, 0))
+        for gid in sorted(by_gid):
+            rows.append(by_gid[gid].row(schema.RECTYPE_GROUP, 0, gid))
+
+    conn = dbmod.open_rw(index.db_path(start))
+    try:
+        conn.execute("DELETE FROM tsummary")
+        conn.executemany(_TS_INSERT, rows)
+        conn.commit()
+    finally:
+        conn.close()
+    return TSummaryResult(
+        seconds=time.monotonic() - t0,
+        dirs_scanned=dirs_scanned,
+        rows_written=len(rows),
+    )
+
+
+def drop_tsummary(index: GUFIIndex, start: str = "/") -> None:
+    """Remove the tsummary rows at ``start`` (admin operation)."""
+    conn = dbmod.open_rw(index.db_path(start))
+    try:
+        conn.execute("DELETE FROM tsummary")
+        conn.commit()
+    finally:
+        conn.close()

@@ -1,0 +1,161 @@
+"""Incremental index updates (paper §III-A3/§III-A4).
+
+The index is rebuilt wholesale on a schedule (the paper's site uses a
+4-hour pull interval), but two situations need immediate, surgical
+updates:
+
+* a file-transfer tool just rewrote one directory and wants the index
+  to reflect it now;
+* a user realises they exposed sensitive names/metadata and needs a
+  visibility change honoured *immediately* (the security use the
+  paper highlights).
+
+:func:`update_directory` re-scans a single source directory and
+replaces that directory's index database (entries, summary, xattr
+shards, preserved permissions). If the directory's data was rolled up
+into an ancestor, the rollups on the root-to-target path are undone
+first — each directory's rollup is independently reversible, so only
+the path is touched, not the whole subtree (§III-C3).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+from repro.fs.inode import FileType
+from repro.fs.tree import VFSTree
+from repro.scan.scanners import record_from_inode
+from repro.scan.trace import DirStanza
+
+from . import schema
+from .build import BuildOptions, build_dir_db
+from .index import GUFIIndex
+from .rollup import unrollup_dir
+
+
+@dataclass
+class UpdateResult:
+    seconds: float
+    unrolled_dirs: list[str]
+    entries_indexed: int
+
+
+def _unroll_path_to(index: GUFIIndex, target: str) -> list[str]:
+    """Undo rollups on every directory from the root down to (and
+    including) ``target`` so the target's database is authoritative
+    again. Off-path siblings keep their rollups."""
+    parts = [p for p in target.split("/") if p]
+    unrolled = []
+    paths = ["/"] + [
+        "/" + "/".join(parts[: i + 1]) for i in range(len(parts))
+    ]
+    for sp in paths:
+        db_path = index.db_path(sp)
+        if not db_path.exists():
+            continue
+        meta = index.dir_meta(sp)
+        if meta.rolledup:
+            unrollup_dir(index, sp)
+            unrolled.append(sp)
+    return unrolled
+
+
+def update_directory(
+    index: GUFIIndex,
+    tree: VFSTree,
+    source_path: str,
+    opts: BuildOptions | None = None,
+    recursive: bool = False,
+) -> UpdateResult:
+    """Re-scan ``source_path`` on the live source tree and replace its
+    index database(s).
+
+    Non-recursive (default, matching the paper's tool): only the named
+    directory's own entries, permissions, and xattr shards are
+    refreshed; existing sub-directory databases are left alone.
+    ``recursive=True`` additionally rebuilds the whole subtree
+    (removing index directories whose source directories vanished).
+    """
+    opts = opts or BuildOptions()
+    t0 = time.monotonic()
+    source_path = "/" + "/".join(p for p in source_path.split("/") if p)
+    unrolled = _unroll_path_to(index, source_path)
+
+    targets = [source_path]
+    if recursive:
+        targets = []
+        queue = [source_path]
+        while queue:
+            d = queue.pop()
+            targets.append(d)
+            prefix = "" if d == "/" else d
+            for e in tree.readdir(d):
+                if e.ftype is FileType.DIRECTORY:
+                    queue.append(f"{prefix}/{e.name}")
+        _prune_stale_index_dirs(index, tree, source_path)
+
+    total_entries = 0
+    for d in targets:
+        stanza = _scan_single_dir(tree, d)
+        _remove_dir_dbs(index, d)
+        n, _ = build_dir_db(index, stanza, opts)
+        total_entries += n
+    return UpdateResult(
+        seconds=time.monotonic() - t0,
+        unrolled_dirs=unrolled,
+        entries_indexed=total_entries,
+    )
+
+
+def _scan_single_dir(tree: VFSTree, source_path: str) -> DirStanza:
+    import posixpath
+
+    dir_inode = tree.get_inode(source_path)
+    stanza = DirStanza(directory=record_from_inode(source_path, dir_inode))
+    for e in tree.readdir(source_path):
+        if e.ftype is FileType.DIRECTORY:
+            continue
+        child = posixpath.join(source_path, e.name)
+        stanza.entries.append(record_from_inode(child, tree.get_inode(child)))
+    return stanza
+
+
+def _remove_dir_dbs(index: GUFIIndex, source_path: str) -> None:
+    """Remove the directory's primary and side databases so the
+    rebuild starts clean (stale side databases would leak old xattr
+    values — exactly what the security use case must prevent)."""
+    index_dir = index.index_dir(source_path)
+    if not index_dir.exists():
+        return
+    for name in os.listdir(index_dir):
+        if name == schema.DB_NAME or name.startswith("xattrs.db"):
+            try:
+                os.unlink(index_dir / name)
+            except OSError:
+                pass
+
+
+def _prune_stale_index_dirs(
+    index: GUFIIndex, tree: VFSTree, source_path: str
+) -> list[str]:
+    """Delete index directories whose source directories no longer
+    exist (recursive updates only)."""
+    import shutil
+    from pathlib import Path
+
+    removed = []
+    base = index.index_dir(source_path)
+    for dirpath, dirnames, _ in os.walk(base, topdown=True):
+        keep = []
+        for name in sorted(dirnames):
+            idx_dir = os.path.join(dirpath, name)
+            sp = index.source_path(Path(idx_dir))
+            if tree.exists(sp):
+                keep.append(name)
+            else:
+                shutil.rmtree(idx_dir, ignore_errors=True)
+                removed.append(sp)
+        dirnames[:] = keep
+    return removed

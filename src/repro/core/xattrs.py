@@ -1,0 +1,232 @@
+"""Secure extended-attribute indexing (paper §III-A2, §III-B1).
+
+Xattr *names* are metadata (protected by ancestor search bits) and are
+stored in the ``entries`` table. Xattr *values* are protected like
+file data, so storing them all in the per-directory database would
+leak: the database is protected like its directory, while the file a
+value belongs to may be more private. GUFI's rules, reproduced here:
+
+1. a directory's own xattr values go in its primary database;
+2. a file whose ownership and (read) permissions match the parent
+   directory stores its values in the primary database too —
+   equivalent protection;
+3. a file whose *ownership* differs gets a **per-user** side database
+   (owned by that uid, group "none") holding all values its owner may
+   see;
+4. a file whose *group* differs gets **two per-group** side databases:
+   one (group-readable) for values on group-readable files, one
+   (group-unreadable) for the rest.
+
+A tracking table (``xattrs_avail``) lists the side databases so query
+time needs no directory glob. At query time the engine attaches only
+the side databases the querying credentials can read and builds a
+temporary union view — so different users see different xattr sets,
+which is why these views are never persisted.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.fs.permissions import Credentials, can_read_entry
+from repro.scan.trace import TraceRecord
+from repro.sim.blktrace import IOTracer
+
+from . import db as dbmod
+from .schema import pack_xattrs
+
+#: the "none" uid/gid the paper assigns to side databases so that only
+#: the intended principal (plus root) can open them.
+UID_NONE = 65534
+GID_NONE = 65534
+
+MAIN = "main"
+
+
+def side_db_name(kind: str, ident: int) -> str:
+    """File name for a side database within an index directory."""
+    if kind == "user":
+        return f"xattrs.db.u{ident}"
+    if kind == "group_r":
+        return f"xattrs.db.g{ident}.r"
+    if kind == "group_nr":
+        return f"xattrs.db.g{ident}.nr"
+    raise ValueError(f"unknown side db kind {kind!r}")
+
+
+def side_db_protection(kind: str, ident: int) -> tuple[int, int, int]:
+    """(uid, gid, mode) applied to a side database file — what gates
+    who may attach it at query time."""
+    if kind == "user":
+        return ident, GID_NONE, 0o600
+    if kind == "group_r":
+        return UID_NONE, ident, 0o040
+    if kind == "group_nr":
+        return UID_NONE, ident, 0o000
+    raise ValueError(f"unknown side db kind {kind!r}")
+
+
+@dataclass
+class XattrShards:
+    """Destination buckets for one directory's xattr values."""
+
+    main_rows: list[tuple[int, str]] = field(default_factory=list)
+    per_user: dict[int, list[tuple[int, str]]] = field(default_factory=dict)
+    per_group_r: dict[int, list[tuple[int, str]]] = field(default_factory=dict)
+    per_group_nr: dict[int, list[tuple[int, str]]] = field(default_factory=dict)
+
+    @property
+    def num_side_dbs(self) -> int:
+        return len(self.per_user) + len(self.per_group_r) + len(self.per_group_nr)
+
+
+def _matches_parent(dir_rec: TraceRecord, entry: TraceRecord) -> bool:
+    """Rule 2: equivalent protection — same owner, same group, same
+    read exposure (we compare the read bits; write/execute bits do not
+    change who can *see* a value)."""
+    return (
+        entry.uid == dir_rec.uid
+        and entry.gid == dir_rec.gid
+        and (entry.mode & 0o444) == (dir_rec.mode & 0o444)
+    )
+
+
+def shard_xattrs(dir_rec: TraceRecord, entries: list[TraceRecord]) -> XattrShards:
+    """Apply the §III-A2 placement rules to one directory's entries."""
+    shards = XattrShards()
+    if dir_rec.xattrs:
+        shards.main_rows.append((dir_rec.ino, pack_xattrs(dir_rec.xattrs)))
+    for e in entries:
+        if not e.xattrs:
+            continue
+        packed = pack_xattrs(e.xattrs)
+        if _matches_parent(dir_rec, e):
+            shards.main_rows.append((e.ino, packed))
+            continue
+        # Rule 3: owner always gets a per-user copy of their values —
+        # including values on files they have currently chmod'ed
+        # unreadable (the owner could trivially flip the bits back, so
+        # hiding them buys no real security, §III-A2).
+        shards.per_user.setdefault(e.uid, []).append((e.ino, packed))
+        # Rule 4: group copies only when the group differs from the
+        # parent directory's.
+        if e.gid != dir_rec.gid:
+            if e.mode & 0o040:  # group-readable file
+                shards.per_group_r.setdefault(e.gid, []).append((e.ino, packed))
+            else:
+                shards.per_group_nr.setdefault(e.gid, []).append((e.ino, packed))
+    return shards
+
+
+def write_xattr_shards(
+    index_dir: Path, conn_main: sqlite3.Connection, shards: XattrShards
+) -> int:
+    """Write shard buckets: main rows into the open primary database,
+    side buckets into newly created side database files, and the
+    tracking rows into ``xattrs_avail``. Returns side databases
+    created."""
+    if shards.main_rows:
+        conn_main.executemany(
+            "INSERT INTO xattrs (exinode, exattrs) VALUES (?, ?)",
+            shards.main_rows,
+        )
+    created = 0
+    buckets: list[tuple[str, int, list[tuple[int, str]]]] = []
+    for uid, rows in shards.per_user.items():
+        buckets.append(("user", uid, rows))
+    for gid, rows in shards.per_group_r.items():
+        buckets.append(("group_r", gid, rows))
+    for gid, rows in shards.per_group_nr.items():
+        buckets.append(("group_nr", gid, rows))
+    for kind, ident, rows in buckets:
+        name = side_db_name(kind, ident)
+        side = dbmod.create_side_db(index_dir / name)
+        try:
+            side.execute("BEGIN")
+            side.executemany(
+                "INSERT INTO xattrs (exinode, exattrs) VALUES (?, ?)", rows
+            )
+            side.execute("COMMIT")
+        finally:
+            side.close()
+        uid, gid, mode = side_db_protection(kind, ident)
+        conn_main.execute(
+            "INSERT INTO xattrs_avail (filename, uid, gid, mode, isroot) "
+            "VALUES (?,?,?,?,1)",
+            (name, uid, gid, mode),
+        )
+        created += 1
+    return created
+
+
+def accessible_side_dbs(
+    conn_main: sqlite3.Connection, creds: Credentials
+) -> list[str]:
+    """Side databases these credentials may attach: the engine-side
+    equivalent of the kernel refusing ``open(2)`` on files the user
+    cannot read. Owner-uid match on per-user databases is what lets
+    users see their own currently-unreadable values."""
+    out = []
+    for filename, uid, gid, mode in conn_main.execute(
+        "SELECT filename, uid, gid, mode FROM xattrs_avail"
+    ):
+        if creds.is_root or can_read_entry(mode, uid, gid, creds) or creds.uid == uid:
+            out.append(filename)
+    return out
+
+
+def build_xattr_views(
+    conn: sqlite3.Connection,
+    index_dir: Path,
+    creds: Credentials,
+    main_alias: str = "gufi",
+    tracer: IOTracer | None = None,
+) -> list[str]:
+    """Create the per-query temporary xattr views (§III-B1).
+
+    Attaches every side database ``creds`` may read, then creates:
+
+    * ``vxattrs(exinode, exattrs)`` — union of the directory's xattrs
+      table with the accessible side databases;
+    * ``xpentries`` — ``pentries`` joined with ``vxattrs`` (the
+      convenience view the paper's Fig 9 queries use as ``myxatv``
+      joined with pentries).
+
+    Returns attached aliases (caller detaches after the per-directory
+    queries ran). Views are TEMP: different users get different views,
+    so none are persisted.
+    """
+    names = accessible_side_dbs(conn, creds)
+    aliases: list[str] = []
+    selects = [f"SELECT exinode, exattrs FROM {main_alias}.xattrs"]
+    for i, name in enumerate(names):
+        path = index_dir / name
+        if not path.exists():
+            continue  # tracking row newer than an interrupted build
+        alias = f"xa{i}"
+        dbmod.attach_ro(conn, path, alias, tracer)
+        aliases.append(alias)
+        selects.append(f"SELECT exinode, exattrs FROM {alias}.xattrs")
+    # UNION (not UNION ALL): an entry's values may legitimately live in
+    # several accessible stores at once (its owner's per-user database
+    # plus a per-group database); the paper builds "a view of all
+    # *unique* accessible XAttrs".
+    union = " UNION ".join(selects)
+    conn.execute("DROP VIEW IF EXISTS temp.vxattrs")
+    conn.execute(f"CREATE TEMP VIEW vxattrs AS {union}")
+    conn.execute("DROP VIEW IF EXISTS temp.xpentries")
+    conn.execute(
+        "CREATE TEMP VIEW xpentries AS "
+        f"SELECT p.*, x.exattrs FROM {main_alias}.vrpentries p "
+        "INNER JOIN vxattrs x ON p.inode = x.exinode"
+    )
+    return aliases
+
+
+def drop_xattr_views(conn: sqlite3.Connection, aliases: list[str]) -> None:
+    conn.execute("DROP VIEW IF EXISTS temp.xpentries")
+    conn.execute("DROP VIEW IF EXISTS temp.vxattrs")
+    for alias in aliases:
+        dbmod.detach(conn, alias)

@@ -1,0 +1,155 @@
+"""Inode and stat structures for the simulated POSIX file system.
+
+An :class:`Inode` carries exactly the metadata GUFI indexes: type,
+mode, uid/gid, size, link count, timestamps, xattrs, and (for
+symlinks) the target. Directory entries live in the owning
+:class:`~repro.fs.tree.VFSTree`, keyed by name, mirroring how a real
+file system separates dirents from inodes.
+"""
+
+from __future__ import annotations
+
+import enum
+import stat as stat_mod
+import threading
+from dataclasses import dataclass, field
+
+
+class FileType(enum.Enum):
+    """Subset of POSIX file types that metadata indexes care about."""
+
+    FILE = "f"
+    DIRECTORY = "d"
+    SYMLINK = "l"
+
+    @property
+    def ifmt(self) -> int:
+        """The ``S_IFMT`` bits for this type."""
+        return _IFMT[self]
+
+
+_IFMT = {
+    FileType.FILE: stat_mod.S_IFREG,
+    FileType.DIRECTORY: stat_mod.S_IFDIR,
+    FileType.SYMLINK: stat_mod.S_IFLNK,
+}
+
+
+@dataclass(frozen=True)
+class StatResult:
+    """Immutable snapshot of an inode's metadata, like ``os.stat_result``.
+
+    This is the record scanners serialise into trace files and the
+    index stores in its ``entries`` tables.
+    """
+
+    st_ino: int
+    st_mode: int  # type bits | permission bits
+    st_nlink: int
+    st_uid: int
+    st_gid: int
+    st_size: int
+    st_blksize: int
+    st_blocks: int
+    st_atime: int
+    st_mtime: int
+    st_ctime: int
+
+    @property
+    def ftype(self) -> FileType:
+        fmt = stat_mod.S_IFMT(self.st_mode)
+        for ft, bits in _IFMT.items():
+            if bits == fmt:
+                return ft
+        raise ValueError(f"unknown file type bits {fmt:o}")
+
+    @property
+    def perm(self) -> int:
+        """Permission bits only (the low 12 bits, incl. setuid/sticky)."""
+        return stat_mod.S_IMODE(self.st_mode)
+
+
+# Default block accounting matches common local file systems: 4 KiB
+# logical blocks reported in 512-byte units, as stat(2) does.
+BLKSIZE = 4096
+
+
+class InodeAllocator:
+    """Thread-safe monotonically increasing inode number source."""
+
+    def __init__(self, start: int = 1):
+        self._next = start
+        self._lock = threading.Lock()
+
+    def allocate(self) -> int:
+        with self._lock:
+            ino = self._next
+            self._next += 1
+            return ino
+
+
+@dataclass
+class Inode:
+    """Mutable inode record.
+
+    ``xattrs`` maps attribute name (e.g. ``user.tag``) to a byte
+    value. ``symlink_target`` is set only for symlinks. Directory
+    children are tracked by the tree, not the inode, but ``nlink``
+    is kept POSIX-consistent (2 + number of subdirectories for dirs).
+    """
+
+    ino: int
+    ftype: FileType
+    mode: int  # permission bits only
+    uid: int
+    gid: int
+    size: int = 0
+    nlink: int = 1
+    atime: int = 0
+    mtime: int = 0
+    ctime: int = 0
+    xattrs: dict[str, bytes] = field(default_factory=dict)
+    symlink_target: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.ftype is FileType.DIRECTORY:
+            self.nlink = max(self.nlink, 2)
+        if self.ftype is FileType.SYMLINK:
+            if self.symlink_target is None:
+                raise ValueError("symlink inode requires a target")
+            self.size = len(self.symlink_target)
+
+    def stat(self) -> StatResult:
+        """Produce an immutable stat snapshot of this inode."""
+        blocks = (self.size + 511) // 512
+        return StatResult(
+            st_ino=self.ino,
+            st_mode=self.ftype.ifmt | (self.mode & 0o7777),
+            st_nlink=self.nlink,
+            st_uid=self.uid,
+            st_gid=self.gid,
+            st_size=self.size,
+            st_blksize=BLKSIZE,
+            st_blocks=blocks,
+            st_atime=self.atime,
+            st_mtime=self.mtime,
+            st_ctime=self.ctime,
+        )
+
+    def clone(self) -> "Inode":
+        """Deep copy for snapshots; xattr dict is copied, values shared
+        (bytes are immutable)."""
+        return Inode(
+            ino=self.ino,
+            ftype=self.ftype,
+            mode=self.mode,
+            uid=self.uid,
+            gid=self.gid,
+            size=self.size,
+            nlink=self.nlink,
+            atime=self.atime,
+            mtime=self.mtime,
+            ctime=self.ctime,
+            xattrs=dict(self.xattrs),
+            symlink_target=self.symlink_target,
+        )

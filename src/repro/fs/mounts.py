@@ -1,0 +1,70 @@
+"""A mounted view of a VFS tree with per-operation access costs.
+
+:class:`MountedFS` binds a :class:`~repro.fs.tree.VFSTree` to a
+:class:`~repro.sim.netfs.NetFSCostModel` and a
+:class:`~repro.sim.clock.VirtualClock`: every metadata operation both
+executes against the tree *and* charges the clock with the latency
+that operation would incur on the modelled file system (a Lustre
+client, an NFS mount, a local XFS...). The Fig 1 baselines
+(`find -ls`, `du -s`) run against MountedFS instances so their
+reported times reflect each file system's metadata RPC costs.
+"""
+
+from __future__ import annotations
+
+from repro.sim.clock import VirtualClock
+from repro.sim.netfs import NetFSCostModel
+
+from .inode import StatResult
+from .permissions import ROOT, Credentials
+from .tree import DirEntry, VFSTree
+
+
+class MountedFS:
+    """Cost-charging façade over a VFS tree.
+
+    Only the read-side metadata operations used by query baselines are
+    exposed; index *construction* scans use the scanner classes in
+    :mod:`repro.scan`, which have their own cost accounting.
+    """
+
+    def __init__(
+        self,
+        tree: VFSTree,
+        cost_model: NetFSCostModel,
+        clock: VirtualClock | None = None,
+    ):
+        self.tree = tree
+        self.cost = cost_model
+        self.clock = clock if clock is not None else VirtualClock()
+
+    @property
+    def name(self) -> str:
+        return self.cost.name
+
+    def stat(self, path: str, creds: Credentials = ROOT) -> StatResult:
+        self.cost.charge_stat(self.clock)
+        return self.tree.stat(path, creds)
+
+    def lstat(self, path: str, creds: Credentials = ROOT) -> StatResult:
+        self.cost.charge_stat(self.clock)
+        return self.tree.lstat(path, creds)
+
+    def readdir(self, path: str, creds: Credentials = ROOT) -> list[DirEntry]:
+        entries = self.tree.readdir(path, creds)
+        self.cost.charge_readdir(self.clock, len(entries))
+        return entries
+
+    def getxattr(
+        self,
+        path: str,
+        name: str,
+        creds: Credentials = ROOT,
+        follow: bool = True,
+    ) -> bytes:
+        self.cost.charge_getxattr(self.clock)
+        return self.tree.getxattr(path, name, creds, follow=follow)
+
+    def listxattr(self, path: str, creds: Credentials = ROOT) -> list[str]:
+        self.cost.charge_getxattr(self.clock)
+        return self.tree.listxattr(path, creds)

@@ -1,0 +1,44 @@
+"""Synthetic namespace generation (stand-in for production traces).
+
+The paper's datasets are real production namespaces (and the released
+traces are multi-GB); this package generates statistically similar
+namespaces at configurable scale, preserving the ownership skew,
+permission mixes, and size distributions the experiments exercise.
+"""
+
+from .datasets import (
+    TABLE1_SCAN_TYPE,
+    dataset1,
+    dataset2,
+    linux_kernel_tree,
+    table1_names,
+    table1_namespace,
+    table1_paper_counts,
+)
+from .distributions import Population, Sampler
+from .namespace import (
+    AreaPolicy,
+    GeneratedNamespace,
+    Layout,
+    NamespaceSpec,
+    apply_xattrs,
+    build_namespace,
+)
+
+__all__ = [
+    "AreaPolicy",
+    "GeneratedNamespace",
+    "Layout",
+    "NamespaceSpec",
+    "Population",
+    "Sampler",
+    "TABLE1_SCAN_TYPE",
+    "apply_xattrs",
+    "build_namespace",
+    "dataset1",
+    "dataset2",
+    "linux_kernel_tree",
+    "table1_names",
+    "table1_namespace",
+    "table1_paper_counts",
+]

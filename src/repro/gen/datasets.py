@@ -1,0 +1,128 @@
+"""Scaled presets for the paper's evaluation datasets.
+
+Paper-scale namespaces (millions of directories, tens of millions of
+files) would take hours to generate and index in pure Python, so each
+preset takes a ``scale`` factor applied to the paper's counts. The
+default scales keep each benchmark in the seconds range while leaving
+the distributional structure (ownership skew, permission mixes, depth)
+intact; pass ``scale=1.0`` to attempt full size.
+
+Paper reference counts:
+
+* Fig 1 workload — Linux 5.8.9 source tree: ~4.7 K dirs, 74 K files.
+* Dataset 1 (§IV, Table II) — anonymised NFS home: 1.6 M dirs, 13.2 M files.
+* Dataset 2 (§IV, Table II) — Lustre scratch: 2.2 M dirs, 64.7 M files.
+* Table I — /users 6.1M/43M, /proj 35.7M/263M, /scratch1 7.4M/102M,
+  /scratch2 16.5M/225M, /archive 5.7M/193M (dirs/files).
+"""
+
+from __future__ import annotations
+
+from .namespace import GeneratedNamespace, Layout, NamespaceSpec, build_namespace
+
+
+def _scaled(n: int, scale: float, minimum: int = 8) -> int:
+    return max(minimum, int(n * scale))
+
+
+def linux_kernel_tree(scale: float = 1.0, seed: int = 1) -> GeneratedNamespace:
+    """The Fig 1 workload: a kernel-source-shaped tree (single owner,
+    world readable, ~16 files per directory, small files)."""
+    spec = NamespaceSpec(
+        name="linux-5.8.9",
+        n_dirs=_scaled(4700, scale),
+        n_files=_scaled(74_000, scale),
+        layout=Layout.KERNEL,
+        n_users=1,
+        seed=seed,
+        mean_fanout=3.2,
+        file_size_median=8 * 1024,
+        file_size_sigma=1.6,
+        symlink_fraction=0.0005,
+    )
+    return build_namespace(spec)
+
+
+def dataset1(scale: float = 0.01, seed: int = 11) -> GeneratedNamespace:
+    """Anonymised NFS home file system (1.6 M dirs / 13.2 M files at
+    scale=1). Used for the disk-utilisation study (Fig 7)."""
+    spec = NamespaceSpec(
+        name="dataset1-nfs-home",
+        n_dirs=_scaled(1_600_000, scale),
+        n_files=_scaled(13_200_000, scale),
+        layout=Layout.HOME,
+        n_users=max(4, int(150 * min(1.0, scale * 20))),
+        seed=seed,
+        mean_fanout=2.8,
+    )
+    return build_namespace(spec)
+
+
+def dataset2(scale: float = 0.002, seed: int = 22) -> GeneratedNamespace:
+    """Production Lustre scratch (2.2 M dirs / 64.7 M files at
+    scale=1). The macro-benchmark namespace (Figs 8, 9, 10)."""
+    spec = NamespaceSpec(
+        name="dataset2-lustre-scratch",
+        n_dirs=_scaled(2_200_000, scale),
+        n_files=_scaled(64_700_000, scale),
+        layout=Layout.SCRATCH,
+        n_users=max(6, int(150 * min(1.0, scale * 100))),
+        seed=seed,
+        mean_fanout=3.0,
+        file_size_median=256 * 1024,  # scratch files skew larger
+        file_size_sigma=3.0,
+    )
+    return build_namespace(spec)
+
+
+# ----------------------------------------------------------------------
+# Table I file systems. Counts are the paper's, scaled.
+# ----------------------------------------------------------------------
+
+_TABLE1 = {
+    # name: (layout, dirs, files)
+    "/users": (Layout.HOME, 6_100_000, 43_000_000),
+    "/proj": (Layout.PROJECT, 35_700_000, 263_000_000),
+    "/scratch1": (Layout.SCRATCH, 7_400_000, 102_000_000),
+    "/scratch2": (Layout.SCRATCH, 16_500_000, 225_000_000),
+    "/archive": (Layout.ARCHIVE, 5_700_000, 193_000_000),
+}
+
+#: scan type each Table I file system uses in the paper
+TABLE1_SCAN_TYPE = {
+    "/users": "treewalk",
+    "/proj": "treewalk",
+    "/scratch1": "lester",
+    "/scratch2": "treewalk",
+    "/archive": "sql",
+}
+
+
+def table1_namespace(
+    name: str, scale: float = 2e-4, seed: int | None = None
+) -> GeneratedNamespace:
+    """Generate one of the five Table I namespaces at ``scale``."""
+    import zlib
+
+    layout, n_dirs, n_files = _TABLE1[name]
+    spec = NamespaceSpec(
+        name=f"table1{name.replace('/', '-')}",
+        n_dirs=_scaled(n_dirs, scale),
+        n_files=_scaled(n_files, scale),
+        layout=layout,
+        n_users=24,
+        # crc32, not hash(): str hashes are randomised per process and
+        # namespaces must be reproducible across runs.
+        seed=seed if seed is not None else zlib.crc32(name.encode()) % 10_000,
+    )
+    return build_namespace(spec)
+
+
+def table1_names() -> list[str]:
+    return list(_TABLE1)
+
+
+def table1_paper_counts(name: str) -> tuple[int, int]:
+    """(dirs, files) the paper reports for ``name``."""
+    _, d, f = _TABLE1[name]
+    return d, f

@@ -1,0 +1,124 @@
+"""Seeded statistical samplers for synthetic namespace generation.
+
+Production HPC namespaces have heavy-tailed structure: a few users own
+most files, most directories are small while a handful are enormous,
+and file sizes span nine orders of magnitude. The samplers here give
+namespace generators those shapes deterministically (every generator
+takes a seed) so experiments are reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import string
+from dataclasses import dataclass
+
+_NAME_ALPHABET = string.ascii_lowercase + string.digits + "_-"
+_EXTENSIONS = [
+    "", ".txt", ".dat", ".h5", ".nc", ".log", ".bin", ".py", ".c", ".h",
+    ".out", ".err", ".ckpt", ".json", ".csv", ".tar", ".gz", ".silo",
+]
+
+
+@dataclass
+class Sampler:
+    """Bundle of seeded samplers sharing one :class:`random.Random`."""
+
+    seed: int = 0
+
+    def __post_init__(self):
+        self.rng = random.Random(self.seed)
+
+    # ------------------------------------------------------------------
+    # Sizes
+    # ------------------------------------------------------------------
+    def file_size(self, median: float = 16 * 1024, sigma: float = 2.6) -> int:
+        """Log-normal file size in bytes. Defaults give a median of
+        16 KiB with a heavy tail into the multi-GB range, matching
+        published HPC file-size surveys."""
+        return max(0, int(self.rng.lognormvariate(math.log(median), sigma)))
+
+    # ------------------------------------------------------------------
+    # Counts
+    # ------------------------------------------------------------------
+    def fanout(self, mean: float = 3.0, maximum: int = 200) -> int:
+        """Number of subdirectories for a directory: geometric-ish with
+        an occasional wide directory."""
+        if self.rng.random() < 0.02:  # rare very wide directory
+            return self.rng.randint(int(mean * 4), maximum)
+        # geometric with the given mean, clamped
+        p = 1.0 / (1.0 + mean)
+        n = 0
+        while self.rng.random() > p and n < maximum:
+            n += 1
+        return n
+
+    def files_in_dir(self, mean: float = 10.0, maximum: int = 100_000) -> int:
+        """Files per directory: most directories hold a handful, a few
+        hold thousands (the 'large directories are true outliers'
+        observation the paper makes about Brindexer's hash shards)."""
+        r = self.rng.random()
+        if r < 0.01:
+            return min(maximum, int(self.rng.paretovariate(0.9) * mean * 20))
+        return min(maximum, max(0, int(self.rng.expovariate(1.0 / mean))))
+
+    def zipf_index(self, n: int, skew: float = 1.1) -> int:
+        """Pick an index in [0, n) with Zipf-like popularity (index 0
+        most popular). Used for owner assignment: a few users own most
+        of the namespace."""
+        if n <= 1:
+            return 0
+        # Rejection-free inverse-CDF approximation for bounded Zipf.
+        h = (n ** (1.0 - skew) - 1.0) / (1.0 - skew) if skew != 1.0 else math.log(n)
+        u = self.rng.random() * h
+        if skew != 1.0:
+            k = int(((u * (1.0 - skew)) + 1.0) ** (1.0 / (1.0 - skew)))
+        else:
+            k = int(math.exp(u))
+        return min(max(k - 1, 0), n - 1)
+
+    # ------------------------------------------------------------------
+    # Names
+    # ------------------------------------------------------------------
+    def dirname(self) -> str:
+        length = self.rng.randint(3, 14)
+        return "".join(self.rng.choice(_NAME_ALPHABET) for _ in range(length))
+
+    def filename(self) -> str:
+        length = self.rng.randint(3, 20)
+        stem = "".join(self.rng.choice(_NAME_ALPHABET) for _ in range(length))
+        return stem + self.rng.choice(_EXTENSIONS)
+
+    def xattr_value(self, nbytes: int = 16) -> bytes:
+        return bytes(self.rng.getrandbits(8) for _ in range(nbytes))
+
+    # ------------------------------------------------------------------
+    # Timestamps
+    # ------------------------------------------------------------------
+    def age_seconds(self, horizon: int = 3 * 365 * 86400) -> int:
+        """How long ago an entry was last modified; exponential, so
+        most data is recent but a long stale tail exists (what purge
+        policies hunt for)."""
+        return min(horizon, int(self.rng.expovariate(1.0 / (horizon / 6))))
+
+
+@dataclass(frozen=True)
+class Population:
+    """A user/group population for a namespace.
+
+    ``uids`` and ``gids`` are parallel universes: each uid has a
+    primary gid, and ``shared_gids`` are project groups users may
+    additionally belong to.
+    """
+
+    uids: tuple[int, ...]
+    primary_gid: dict[int, int]
+    shared_gids: tuple[int, ...]
+
+    @staticmethod
+    def make(n_users: int, n_shared_groups: int = 8, base_uid: int = 1000) -> "Population":
+        uids = tuple(range(base_uid, base_uid + n_users))
+        primary = {uid: uid for uid in uids}  # per-user private group
+        shared = tuple(range(100, 100 + n_shared_groups))
+        return Population(uids=uids, primary_gid=primary, shared_gids=shared)

@@ -1,0 +1,328 @@
+"""Synthetic namespace builder.
+
+Turns a :class:`NamespaceSpec` into a populated
+:class:`~repro.fs.tree.VFSTree` with the structural properties the
+paper's experiments depend on:
+
+* heavy-tailed ownership (a few users own most entries) — drives the
+  user-query speedups of Fig 10b;
+* per-area permission *homogeneity* (home trees are single-owner and
+  uniform; project trees mix users, groups, and modes) — drives the
+  rollup-rate spread (741× home vs 77× project, §IV-B);
+* heavy-tailed directory sizes — drives the Brindexer shard-size
+  imbalance of Fig 8c;
+* log-normal file sizes and exponential staleness — give the du- and
+  purge-style queries realistic aggregates.
+"""
+
+from __future__ import annotations
+
+import posixpath
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.fs.tree import VFSTree
+
+from .distributions import Population, Sampler
+
+
+class Layout(Enum):
+    """Area archetypes, after the paper's /home /project /scratch
+    /archive mount taxonomy (§I) plus a kernel-source tree for Fig 1."""
+
+    HOME = "home"
+    PROJECT = "project"
+    SCRATCH = "scratch"
+    ARCHIVE = "archive"
+    KERNEL = "kernel"
+
+
+@dataclass(frozen=True)
+class AreaPolicy:
+    """Ownership and mode policy for one top-level area subtree."""
+
+    uid: int
+    gid: int
+    dir_mode: int
+    file_mode: int
+    #: probability a directory deviates from the area policy (different
+    #: owner or mode) — the source of rollup-blocking diversity
+    deviation_p: float = 0.0
+
+
+@dataclass
+class NamespaceSpec:
+    """Parameters for one generated namespace."""
+
+    name: str
+    n_dirs: int
+    n_files: int
+    layout: Layout
+    n_users: int = 20
+    seed: int = 0
+    mean_fanout: float = 3.0
+    file_size_median: float = 16 * 1024
+    file_size_sigma: float = 2.6
+    symlink_fraction: float = 0.01
+    #: per-spec overrides; filled from layout defaults if None
+    population: Population | None = None
+
+    def __post_init__(self):
+        if self.population is None:
+            self.population = Population.make(self.n_users)
+
+
+@dataclass
+class GeneratedNamespace:
+    """A built namespace plus the bookkeeping experiments need."""
+
+    spec: NamespaceSpec
+    tree: VFSTree
+    #: every directory path, in creation (BFS) order
+    dirs: list[str]
+    #: every non-directory path
+    files: list[str]
+    #: top-level area root for each user area (e.g. /home/u1007)
+    area_roots: dict[str, AreaPolicy] = field(default_factory=dict)
+
+    @property
+    def total_entries(self) -> int:
+        return len(self.dirs) + len(self.files)
+
+
+def _area_policies(
+    spec: NamespaceSpec, sampler: Sampler
+) -> list[tuple[str, AreaPolicy]]:
+    """Create the top-level areas for the layout and return
+    (area_root_path, policy) pairs. Area count tracks the user
+    population; Zipf weighting later decides how much each area grows."""
+    pop = spec.population
+    assert pop is not None
+    areas: list[tuple[str, AreaPolicy]] = []
+    if spec.layout is Layout.KERNEL:
+        areas.append(
+            ("/linux", AreaPolicy(uid=0, gid=0, dir_mode=0o755, file_mode=0o644))
+        )
+        return areas
+    if spec.layout in (Layout.HOME, Layout.SCRATCH):
+        base = "/home" if spec.layout is Layout.HOME else "/scratch"
+        for uid in pop.uids:
+            # Most home trees are private; some are group/world visible.
+            r = sampler.rng.random()
+            if r < 0.70:
+                dmode, fmode = 0o700, 0o600
+            elif r < 0.90:
+                dmode, fmode = 0o750, 0o640
+            else:
+                dmode, fmode = 0o755, 0o644
+            areas.append(
+                (
+                    f"{base}/u{uid}",
+                    AreaPolicy(
+                        uid=uid,
+                        gid=pop.primary_gid[uid],
+                        dir_mode=dmode,
+                        file_mode=fmode,
+                        deviation_p=0.002 if spec.layout is Layout.HOME else 0.02,
+                    ),
+                )
+            )
+        return areas
+    # PROJECT / ARCHIVE: shared-group areas with diverse membership.
+    base = "/proj" if spec.layout is Layout.PROJECT else "/archive"
+    n_areas = max(2, len(pop.shared_gids))
+    for i in range(n_areas):
+        gid = pop.shared_gids[i % len(pop.shared_gids)]
+        owner = pop.uids[sampler.zipf_index(len(pop.uids))]
+        dmode = sampler.rng.choice([0o770, 0o775, 0o750, 0o2770])
+        areas.append(
+            (
+                f"{base}/proj{i:03d}",
+                AreaPolicy(
+                    uid=owner,
+                    gid=gid,
+                    dir_mode=dmode,
+                    file_mode=dmode & 0o666,
+                    deviation_p=0.06,  # mixed ownership blocks rollup
+                ),
+            )
+        )
+    return areas
+
+
+def _deviate(
+    policy: AreaPolicy, spec: NamespaceSpec, sampler: Sampler
+) -> AreaPolicy:
+    """Produce a within-area deviation — the source of rollup-blocking
+    diversity. In private home trees only the owner can create
+    sub-directories, so deviations there are mode changes by the same
+    owner (a world-readable subdir in a private home); shared project
+    and scratch areas additionally grow foreign-owner private dirs and
+    group changes — which is why the paper's project spaces roll up an
+    order of magnitude worse than home spaces (77x vs 741x)."""
+    pop = spec.population
+    assert pop is not None
+    r = sampler.rng.random()
+    if spec.layout is Layout.HOME or r >= 0.5:
+        if r < 0.8 or spec.layout is Layout.HOME:
+            # same owner, world-readable
+            return AreaPolicy(
+                uid=policy.uid, gid=policy.gid, dir_mode=0o755,
+                file_mode=0o644, deviation_p=policy.deviation_p,
+            )
+        # different group
+        gid = sampler.rng.choice(pop.shared_gids)
+        return AreaPolicy(
+            uid=policy.uid, gid=gid, dir_mode=policy.dir_mode,
+            file_mode=policy.file_mode, deviation_p=policy.deviation_p,
+        )
+    # different owner, private (shared areas only)
+    uid = pop.uids[sampler.zipf_index(len(pop.uids))]
+    return AreaPolicy(
+        uid=uid, gid=pop.primary_gid[uid], dir_mode=0o700, file_mode=0o600,
+        deviation_p=policy.deviation_p,
+    )
+
+
+def build_namespace(spec: NamespaceSpec) -> GeneratedNamespace:
+    """Materialise ``spec`` into a VFS tree.
+
+    Directory growth is breadth-first from the area roots with Zipf
+    weighting across areas, so popular users/projects grow deep, wide
+    subtrees; files are then distributed with a heavy-tailed
+    files-per-directory law.
+    """
+    sampler = Sampler(spec.seed)
+    tree = VFSTree()
+    areas = _area_policies(spec, sampler)
+
+    # Top-level containers (/home, /proj, ...) then area roots.
+    created_dirs: list[str] = []
+    policies: dict[str, AreaPolicy] = {}
+    tops = sorted({posixpath.dirname(p) for p, _ in areas})
+    for top in tops:
+        tree.makedirs(top, mode=0o755, uid=0, gid=0)
+    for path, policy in areas:
+        tree.mkdir(path, mode=policy.dir_mode, uid=policy.uid, gid=policy.gid)
+        created_dirs.append(path)
+        policies[path] = policy
+
+    # Grow the directory forest, BFS, Zipf-weighted across areas.
+    frontier: list[list[str]] = [[p] for p, _ in areas]
+    n_dirs = len(created_dirs)
+    stall = 0
+    while n_dirs < spec.n_dirs and stall < 10_000:
+        ai = sampler.zipf_index(len(frontier), skew=1.05)
+        bucket = frontier[ai]
+        if not bucket:
+            stall += 1
+            continue
+        stall = 0
+        parent = bucket[sampler.rng.randrange(len(bucket))]
+        fanout = sampler.fanout(mean=spec.mean_fanout)
+        if fanout == 0:
+            # Leaf: drop it from the frontier so growth moves on.
+            bucket.remove(parent)
+            if not bucket:
+                bucket.append(areas[ai][0])  # never exhaust an area
+            continue
+        policy = policies[parent]
+        for _ in range(fanout):
+            if n_dirs >= spec.n_dirs:
+                break
+            child_policy = policy
+            if sampler.rng.random() < policy.deviation_p:
+                child_policy = _deviate(policy, spec, sampler)
+            child = posixpath.join(parent, sampler.dirname())
+            if tree.exists(child):
+                continue
+            tree.mkdir(
+                child,
+                mode=child_policy.dir_mode,
+                uid=child_policy.uid,
+                gid=child_policy.gid,
+            )
+            created_dirs.append(child)
+            policies[child] = child_policy
+            bucket.append(child)
+            n_dirs += 1
+
+    # Distribute files. Walk directories repeatedly (Zipf-weighted so
+    # hot directories accumulate) until the file budget is spent.
+    files: list[str] = []
+    n_files = 0
+    horizon = 3 * 365 * 86400
+    tree.set_time(horizon + 1)  # "now" for staleness maths
+    order = list(created_dirs)
+    while n_files < spec.n_files:
+        d = order[sampler.zipf_index(len(order), skew=1.02)]
+        count = min(sampler.files_in_dir(), spec.n_files - n_files)
+        policy = policies[d]
+        for _ in range(count):
+            name = sampler.filename()
+            path = posixpath.join(d, name)
+            if tree.exists(path):
+                continue
+            mtime = horizon - sampler.age_seconds(horizon)
+            if sampler.rng.random() < spec.symlink_fraction:
+                target = order[sampler.rng.randrange(len(order))]
+                tree.symlink(path, target, uid=policy.uid, gid=policy.gid)
+            else:
+                tree.create_file(
+                    path,
+                    size=sampler.file_size(
+                        spec.file_size_median, spec.file_size_sigma
+                    ),
+                    mode=policy.file_mode,
+                    uid=policy.uid,
+                    gid=policy.gid,
+                    mtime=mtime,
+                )
+            files.append(path)
+            n_files += 1
+
+    return GeneratedNamespace(
+        spec=spec,
+        tree=tree,
+        dirs=sorted(created_dirs),
+        files=sorted(files),
+        area_roots=dict(areas),
+    )
+
+
+def apply_xattrs(
+    ns: GeneratedNamespace,
+    fraction: float,
+    sentinel: tuple[str, bytes] = ("user.ext", b"1"),
+    needle: tuple[str, bytes] = ("user.needle", b"found-me"),
+    extra_per_file: int = 2,
+    seed: int = 99,
+) -> tuple[list[str], str]:
+    """Populate xattrs on ``fraction`` of non-directories (Fig 9 setup).
+
+    Every selected file gets the well-known ``sentinel`` name-value
+    pair plus ``extra_per_file`` random attributes; exactly one file
+    additionally gets the unique ``needle``. Returns (tagged paths,
+    needle path).
+    """
+    sampler = Sampler(seed)
+    tagged: list[str] = []
+    for path in ns.files:
+        # user.* xattrs are not permitted on symlinks (Linux), and
+        # tagging through one would decorate its target instead.
+        if ns.tree.lstat(path).ftype.value == "l":
+            continue
+        if sampler.rng.random() < fraction:
+            ns.tree.setxattr(path, sentinel[0], sentinel[1])
+            for i in range(extra_per_file):
+                ns.tree.setxattr(
+                    path, f"user.tag{i}", sampler.xattr_value(8)
+                )
+            tagged.append(path)
+    if not tagged:  # guarantee at least one for the needle
+        path = ns.files[0]
+        ns.tree.setxattr(path, sentinel[0], sentinel[1])
+        tagged.append(path)
+    needle_path = tagged[sampler.rng.randrange(len(tagged))]
+    ns.tree.setxattr(needle_path, needle[0], needle[1])
+    return tagged, needle_path

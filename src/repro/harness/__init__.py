@@ -1,0 +1,36 @@
+"""Benchmark harness: experiment drivers (one per paper table/figure)
+and result-table rendering."""
+
+from .experiments import (
+    DEFAULT_THREADS,
+    fig1,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    ingest_rate,
+    modeled_gufi_time,
+    rollup_reduction,
+    table1,
+)
+from . import paper
+from .results import ResultTable, ascii_chart, fmt_bytes, fmt_duration, fmt_value
+
+__all__ = [
+    "paper",
+    "DEFAULT_THREADS",
+    "ResultTable",
+    "ascii_chart",
+    "fig1",
+    "fig10",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fmt_bytes",
+    "fmt_duration",
+    "fmt_value",
+    "ingest_rate",
+    "modeled_gufi_time",
+    "rollup_reduction",
+    "table1",
+]

@@ -1,0 +1,94 @@
+"""The paper's reported numbers, as data.
+
+EXPERIMENTS.md narrates paper-versus-measured; this module carries the
+paper's side machine-readably so benches and tests can assert shape
+claims against the source instead of against constants scattered
+through the code.
+
+Every value is transcribed from the SC 2022 paper (tables, figures,
+and evaluation prose); section references are in the field comments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PaperTable1Row:
+    filesystem: str
+    fstype: str
+    dirs: int
+    files: int
+    scan_type: str
+    scan_minutes: float
+    index_creation: str  # "in-situ" or seconds as text
+
+
+#: Table I verbatim.
+TABLE1: tuple[PaperTable1Row, ...] = (
+    PaperTable1Row("/users", "NFS", 6_100_000, 43_000_000, "treewalk", 50, "in-situ"),
+    PaperTable1Row("/proj", "NFS", 35_700_000, 263_000_000, "treewalk", 133, "in-situ"),
+    PaperTable1Row("/scratch1", "Lustre", 7_400_000, 102_000_000, "lester", 19, "158s"),
+    PaperTable1Row("/scratch2", "Lustre", 16_500_000, 225_000_000, "treewalk", 216, "in-situ"),
+    PaperTable1Row("/archive", "HPSS", 5_700_000, 193_000_000, "sql", 125, "229s"),
+)
+
+#: Table II: evaluation datasets.
+DATASET1_DIRS, DATASET1_FILES = 1_600_000, 13_200_000
+DATASET2_DIRS, DATASET2_FILES = 2_200_000, 64_700_000
+
+#: Fig 1 workload.
+FIG1_KERNEL_FILES = 74_000
+
+#: Fig 7 (§IV-A): saturation thread count for one SSD; observed
+#: two-SSD throughput and utilisation; device ceilings.
+FIG7_SATURATION_THREADS = 112
+FIG7_TWO_SSD_GBPS = 5.26
+FIG7_TWO_SSD_UTILISATION = 0.82
+FIG7_SSD_GBPS = 3.2
+
+#: Fig 8 (§IV-B): rollup process time band at limits >= 10K; the
+#: sweet-spot limit and its rollup/query times; NONE and MAX query
+#: times for the full-touch query.
+FIG8_ROLLUP_SECONDS_BAND = (367.0, 485.0)
+FIG8_BEST_LIMIT = 250_000
+FIG8_BEST_ROLLUP_SECONDS = 367.0
+FIG8_BEST_QUERY_SECONDS = 2.6
+FIG8_NONE_QUERY_SECONDS = 18.0
+FIG8_MAX_QUERY_SECONDS = 8.0
+#: Brindexer shard sizes ranged 24-80 MB; GUFI 250K produced 34K
+#: databases with the largest at 29 MB.
+FIG8_BRINDEXER_SHARD_MB = (24, 80)
+FIG8_GUFI_250K_DBS = 34_000
+FIG8_GUFI_250K_LARGEST_MB = 29
+
+#: §IV-B prose: database-count reduction from unlimited rollup.
+ROLLUP_REDUCTION_MEAN = 386
+ROLLUP_REDUCTION_HOME_MAX = 741
+ROLLUP_REDUCTION_PROJECT_MIN = 77
+
+#: Fig 9 (§IV-C): GUFI speedup over XFS find+getfattr per coverage,
+#: and the stab-query gain band.
+FIG9_SPEEDUPS = {0.25: 33.0, 0.5: 22.0, 1.0: 12.0}
+FIG9_STAB_GAIN = (2.0, 5.0)
+
+#: Fig 10 (§IV-D): admin-query speedups over Brindexer.
+FIG10_SPEEDUPS = (1.5, 8.2, 6.3, 230.0)
+FIG10_USERS_SAMPLED = 150
+#: tsummary build time, before vs after the 250K rollup.
+TSUMMARY_SECONDS_UNROLLED = 14.8
+TSUMMARY_SECONDS_ROLLED = 0.368
+
+#: §III-A4 ingest prose.
+INGEST_MILLION_DIRS_SECONDS = 18.0
+INGEST_100M_ROWS_SECONDS = 120.0
+
+#: §IV intro: implementation size.
+PAPER_LOC_C = 14_000
+
+
+def fig10_expected_ordering() -> list[int]:
+    """Indices of the four queries sorted by expected speedup,
+    ascending — the shape benches assert (query 4 dominates)."""
+    return sorted(range(4), key=lambda i: FIG10_SPEEDUPS[i])

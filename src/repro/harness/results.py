@@ -1,0 +1,166 @@
+"""Result tables for the benchmark harness.
+
+Every experiment driver returns a :class:`ResultTable` that renders
+the same rows/series the paper's table or figure reports, so a
+benchmark run's stdout is directly comparable with the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+def fmt_value(v: Any) -> str:
+    if v is None:
+        return "-"
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000:
+            return f"{v:,.0f}"
+        if abs(v) >= 1:
+            return f"{v:.2f}"
+        return f"{v:.4f}"
+    if isinstance(v, int) and abs(v) >= 10000:
+        return f"{v:,}"
+    return str(v)
+
+
+def fmt_bytes(n: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(n) < 1024:
+            return f"{n:.1f} {unit}"
+        n /= 1024
+    return f"{n:.1f} PiB"
+
+
+def fmt_duration(seconds: float) -> str:
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f} µs"
+    if seconds < 1:
+        return f"{seconds * 1e3:.1f} ms"
+    if seconds < 120:
+        return f"{seconds:.2f} s"
+    return f"{seconds / 60:.1f} min"
+
+
+def ascii_chart(
+    title: str,
+    series: dict[str, list[tuple[float, float]]],
+    width: int = 60,
+    height: int = 16,
+    logx: bool = False,
+) -> str:
+    """Plot one or more (x, y) series as a character grid — enough to
+    eyeball the paper's figure shapes (saturation knees, crossovers)
+    straight from a terminal. Each series gets a distinct glyph."""
+    glyphs = "*o+x#@%&"
+    points: list[tuple[float, float, str]] = []
+    legend = []
+    for i, (name, pts) in enumerate(series.items()):
+        g = glyphs[i % len(glyphs)]
+        legend.append(f"{g} {name}")
+        for x, y in pts:
+            points.append((float(x), float(y), g))
+    if not points:
+        return f"{title}\n(no data)"
+    import math
+
+    def tx(x: float) -> float:
+        return math.log10(max(x, 1e-12)) if logx else x
+
+    xs = [tx(p[0]) for p in points]
+    ys = [p[1] for p in points]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    xr = (x1 - x0) or 1.0
+    yr = (y1 - y0) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for (x, y, g) in points:
+        col = int((tx(x) - x0) / xr * (width - 1))
+        row = height - 1 - int((y - y0) / yr * (height - 1))
+        grid[row][col] = g
+    lines = [title, "=" * len(title)]
+    for i, row in enumerate(grid):
+        label = (
+            f"{y1:>10.3g} |" if i == 0
+            else f"{y0:>10.3g} |" if i == height - 1
+            else "           |"
+        )
+        lines.append(label + "".join(row))
+    lines.append("           +" + "-" * width)
+    xlab = "log10(x)" if logx else "x"
+    lines.append(
+        f"            {x0 if not logx else 10**x0:<.4g}"
+        + " " * (width - 16)
+        + f"{x1 if not logx else 10**x1:>.4g}  ({xlab})"
+    )
+    lines.append("  " + "   ".join(legend))
+    return "\n".join(lines)
+
+
+@dataclass
+class ResultTable:
+    """A titled table of experiment results."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values, table has {len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def column(self, name: str) -> list[Any]:
+        i = self.columns.index(name)
+        return [r[i] for r in self.rows]
+
+    def render(self) -> str:
+        cells = [[fmt_value(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in cells))
+            if cells
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [self.title, "=" * len(self.title)]
+        lines.append(
+            " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        )
+        lines.append(sep)
+        for row in cells:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for n in self.notes:
+            lines.append(f"  note: {n}")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """Comma-separated rendering for external plotting."""
+        import csv
+        import io
+
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(self.columns)
+        for row in self.rows:
+            writer.writerow(row)
+        return buf.getvalue()
+
+    def to_markdown(self) -> str:
+        lines = [f"### {self.title}", ""]
+        lines.append("| " + " | ".join(self.columns) + " |")
+        lines.append("|" + "|".join("---" for _ in self.columns) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(fmt_value(v) for v in row) + " |")
+        for n in self.notes:
+            lines.append(f"\n*{n}*")
+        return "\n".join(lines)

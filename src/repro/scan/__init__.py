@@ -1,0 +1,56 @@
+"""File-system scanning: parallel walkers, trace files, and the
+scanner family GUFI uses to pull metadata from diverse source systems.
+"""
+
+from .scanners import (
+    COST_PRESETS,
+    HPSS_SQL,
+    LESTER,
+    TREEWALK_LUSTRE,
+    TREEWALK_NFS,
+    LesterScanner,
+    ScanCostModel,
+    ScanResult,
+    SnapshotScanner,
+    SQLScanner,
+    TreeWalkScanner,
+    make_scanner,
+    record_from_inode,
+)
+from .trace import (
+    FIELD_SEP,
+    XATTR_SEP,
+    DirStanza,
+    TraceRecord,
+    merge_traces,
+    read_trace,
+    split_trace,
+    write_trace,
+)
+from .walker import ParallelTreeWalker, WalkStats
+
+__all__ = [
+    "split_trace",
+    "merge_traces",
+    "COST_PRESETS",
+    "DirStanza",
+    "FIELD_SEP",
+    "HPSS_SQL",
+    "LESTER",
+    "LesterScanner",
+    "ParallelTreeWalker",
+    "SQLScanner",
+    "ScanCostModel",
+    "ScanResult",
+    "SnapshotScanner",
+    "TREEWALK_LUSTRE",
+    "TREEWALK_NFS",
+    "TraceRecord",
+    "TreeWalkScanner",
+    "WalkStats",
+    "XATTR_SEP",
+    "make_scanner",
+    "read_trace",
+    "record_from_inode",
+    "write_trace",
+]

@@ -1,0 +1,224 @@
+"""GUFI trace format: the interchange between scanners and builders.
+
+A trace is a flat text file produced by a source-file-system scan and
+consumed by ``trace2index`` (paper §III-C1, artifact ``gufi_dir2trace``
+/ ``gufi_trace2index``). Records are grouped in *stanzas*: one
+directory record followed by the records of that directory's
+non-directory entries. Stanza grouping is what lets the ingest tool
+parallelise per-directory database creation without re-sorting.
+
+Field layout (one record per line, fields separated by ``\\x1e``):
+
+    path type ino mode nlink uid gid size blksize blocks
+    atime mtime ctime linkname xattrs
+
+``type`` is ``d``/``f``/``l``; ``linkname`` is empty unless ``l``;
+``xattrs`` packs ``name=hex(value)`` pairs joined by ``\\x1f``.
+"""
+
+from __future__ import annotations
+
+import io
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+from pathlib import Path
+
+FIELD_SEP = "\x1e"
+XATTR_SEP = "\x1f"
+
+_NUM_FIELDS = 15
+
+
+@dataclass
+class TraceRecord:
+    """One scanned entry; the unit the index's ``entries`` table stores."""
+
+    path: str
+    ftype: str  # 'd' | 'f' | 'l'
+    ino: int
+    mode: int  # permission bits (low 12)
+    nlink: int
+    uid: int
+    gid: int
+    size: int
+    blksize: int
+    blocks: int
+    atime: int
+    mtime: int
+    ctime: int
+    linkname: str = ""
+    xattrs: dict[str, bytes] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.path.rsplit("/", 1)[-1] or "/"
+
+    @property
+    def parent(self) -> str:
+        head = self.path.rsplit("/", 1)[0]
+        return head or "/"
+
+    def encode(self) -> str:
+        xa = XATTR_SEP.join(
+            f"{k}={v.hex()}" for k, v in sorted(self.xattrs.items())
+        )
+        fields = (
+            self.path,
+            self.ftype,
+            str(self.ino),
+            str(self.mode),
+            str(self.nlink),
+            str(self.uid),
+            str(self.gid),
+            str(self.size),
+            str(self.blksize),
+            str(self.blocks),
+            str(self.atime),
+            str(self.mtime),
+            str(self.ctime),
+            self.linkname,
+            xa,
+        )
+        return FIELD_SEP.join(fields)
+
+    @staticmethod
+    def decode(line: str) -> "TraceRecord":
+        parts = line.rstrip("\n").split(FIELD_SEP)
+        if len(parts) != _NUM_FIELDS:
+            raise ValueError(
+                f"malformed trace record: {len(parts)} fields, want {_NUM_FIELDS}"
+            )
+        xattrs: dict[str, bytes] = {}
+        if parts[14]:
+            for pair in parts[14].split(XATTR_SEP):
+                k, _, v = pair.partition("=")
+                xattrs[k] = bytes.fromhex(v)
+        return TraceRecord(
+            path=parts[0],
+            ftype=parts[1],
+            ino=int(parts[2]),
+            mode=int(parts[3]),
+            nlink=int(parts[4]),
+            uid=int(parts[5]),
+            gid=int(parts[6]),
+            size=int(parts[7]),
+            blksize=int(parts[8]),
+            blocks=int(parts[9]),
+            atime=int(parts[10]),
+            mtime=int(parts[11]),
+            ctime=int(parts[12]),
+            linkname=parts[13],
+            xattrs=xattrs,
+        )
+
+
+@dataclass
+class DirStanza:
+    """A directory record plus its immediate non-directory entries."""
+
+    directory: TraceRecord
+    entries: list[TraceRecord] = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.directory.ftype != "d":
+            raise ValueError(f"stanza head must be a directory: {self.directory.path}")
+
+
+def write_trace(stanzas: Iterable[DirStanza], dest: Path | io.TextIOBase) -> int:
+    """Serialise stanzas to ``dest``; returns records written."""
+    own = isinstance(dest, (str, Path))
+    fh = open(dest, "w", encoding="utf-8") if own else dest
+    n = 0
+    try:
+        for st in stanzas:
+            fh.write(st.directory.encode() + "\n")
+            n += 1
+            for e in st.entries:
+                fh.write(e.encode() + "\n")
+                n += 1
+    finally:
+        if own:
+            fh.close()
+    return n
+
+
+def split_trace(
+    src: Path | str, dest_dir: Path | str, n_parts: int
+) -> list[Path]:
+    """Split a trace into ``n_parts`` stanza-aligned part files.
+
+    Large sites scan on one node and ingest on many; stanza alignment
+    (never splitting a directory from its entries) lets each part feed
+    an independent ``trace2index`` worker whose outputs compose into
+    one index (directories are created with ``makedirs`` semantics).
+    Parts are balanced by record count. Returns the part paths.
+    """
+    if n_parts < 1:
+        raise ValueError("n_parts must be >= 1")
+    dest = Path(dest_dir)
+    dest.mkdir(parents=True, exist_ok=True)
+    stanzas = list(read_trace(Path(src)))
+    total = sum(1 + len(s.entries) for s in stanzas)
+    target = max(1, total // n_parts)
+    paths: list[Path] = []
+    bucket: list[DirStanza] = []
+    count = 0
+    for stanza in stanzas:
+        bucket.append(stanza)
+        count += 1 + len(stanza.entries)
+        if count >= target and len(paths) < n_parts - 1:
+            path = dest / f"part_{len(paths):04d}.trace"
+            write_trace(bucket, path)
+            paths.append(path)
+            bucket, count = [], 0
+    path = dest / f"part_{len(paths):04d}.trace"
+    write_trace(bucket, path)
+    paths.append(path)
+    return paths
+
+
+def merge_traces(parts: Iterable[Path | str], dest: Path | str) -> int:
+    """Concatenate stanza-aligned trace parts back into one file.
+    Returns records written."""
+    n = 0
+    with open(dest, "w", encoding="utf-8") as out:
+        for part in parts:
+            for stanza in read_trace(Path(part)):
+                out.write(stanza.directory.encode() + "\n")
+                n += 1
+                for e in stanza.entries:
+                    out.write(e.encode() + "\n")
+                    n += 1
+    return n
+
+
+def read_trace(src: Path | io.TextIOBase) -> Iterator[DirStanza]:
+    """Stream stanzas back from a trace file.
+
+    Directory records open a new stanza; non-directory records attach
+    to the most recent one. A leading non-directory record is a format
+    error (every entry's parent must have been scanned).
+    """
+    own = isinstance(src, (str, Path))
+    fh = open(src, encoding="utf-8") if own else src
+    current: DirStanza | None = None
+    try:
+        for line in fh:
+            if not line.strip():
+                continue
+            rec = TraceRecord.decode(line)
+            if rec.ftype == "d":
+                if current is not None:
+                    yield current
+                current = DirStanza(directory=rec)
+            else:
+                if current is None:
+                    raise ValueError(
+                        f"entry {rec.path!r} precedes any directory record"
+                    )
+                current.entries.append(rec)
+        if current is not None:
+            yield current
+    finally:
+        if own:
+            fh.close()

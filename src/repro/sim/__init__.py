@@ -1,0 +1,36 @@
+"""Device and remote-file-system cost models.
+
+Substitutes for the hardware the paper measures directly: virtual
+clocks charged by per-operation latency models (Fig 1's network file
+systems) and analytic SSD/host throughput models fed by byte-accurate
+I/O traces from the query engine (Fig 7).
+"""
+
+from .blktrace import IOTracer, ReadEvent
+from .clock import StopwatchRegion, VirtualClock
+from .netfs import (
+    GPFS,
+    LUSTRE,
+    NFS,
+    PRESETS,
+    TMPFS_LOCAL,
+    XFS_LOCAL,
+    NetFSCostModel,
+)
+from .ssd import SSDModel, StorageHost
+
+__all__ = [
+    "GPFS",
+    "IOTracer",
+    "LUSTRE",
+    "NFS",
+    "NetFSCostModel",
+    "PRESETS",
+    "ReadEvent",
+    "SSDModel",
+    "StopwatchRegion",
+    "StorageHost",
+    "TMPFS_LOCAL",
+    "VirtualClock",
+    "XFS_LOCAL",
+]

@@ -1,0 +1,63 @@
+"""Virtual time for cost-model-driven experiments.
+
+Experiments that would require hardware we do not have (remote file
+system RPC latency in Fig 1, SSD bandwidth ceilings in Fig 7) run on a
+virtual clock: operations *charge* simulated seconds instead of
+sleeping, so a benchmark that models a 20-minute production scan
+completes in milliseconds while still reporting the modelled time.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class VirtualClock:
+    """A monotonically advancing simulated clock (seconds, float).
+
+    Thread-safe; concurrent chargers serialise their advances, which
+    models a *sequential* consumer (correct for Fig 1's single-threaded
+    ``find``/``du``). Parallel-device time is computed analytically by
+    the SSD model instead of by interleaving charges.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._t = float(start)
+        self._lock = threading.Lock()
+
+    @property
+    def now(self) -> float:
+        with self._lock:
+            return self._t
+
+    def charge(self, seconds: float) -> float:
+        """Advance the clock by ``seconds`` and return the new time."""
+        if seconds < 0:
+            raise ValueError("cannot charge negative time")
+        with self._lock:
+            self._t += seconds
+            return self._t
+
+    def reset(self, to: float = 0.0) -> None:
+        with self._lock:
+            self._t = float(to)
+
+
+class StopwatchRegion:
+    """Measure the virtual-time cost of a region::
+
+        with StopwatchRegion(clock) as sw:
+            ... charged operations ...
+        print(sw.elapsed)
+    """
+
+    def __init__(self, clock: VirtualClock):
+        self._clock = clock
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "StopwatchRegion":
+        self._start = self._clock.now
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = self._clock.now - self._start

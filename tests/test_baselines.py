@@ -1,0 +1,187 @@
+"""Tests for the baseline systems: Brindexer's hash partitioning,
+flattened schema, full-scan queries, and the POSIX tools' modelled
+costs and permission behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.brindexer import BrindexerIndex, _shard_of
+from repro.baselines.posix_tools import (
+    du_s,
+    find_getfattr,
+    find_ls,
+    find_names,
+)
+from repro.fs.mounts import MountedFS
+from repro.fs.permissions import Credentials
+from repro.sim.netfs import LUSTRE, NFS, XFS_LOCAL
+from repro.scan.scanners import TreeWalkScanner
+from tests.conftest import ALICE, BOB, NTHREADS, build_demo_tree
+
+
+@pytest.fixture(scope="module")
+def demo_stanzas():
+    return TreeWalkScanner(build_demo_tree(), nthreads=1).scan("/").stanzas
+
+
+@pytest.fixture
+def brin(demo_stanzas, tmp_path):
+    idx, _ = BrindexerIndex.build(demo_stanzas, tmp_path / "brin", n_shards=8)
+    return idx
+
+
+class TestBrindexer:
+    def test_shard_hash_stable_and_bounded(self):
+        assert _shard_of("/a/b", 256) == _shard_of("/a/b", 256)
+        assert all(0 <= _shard_of(f"/p{i}", 16) < 16 for i in range(100))
+
+    def test_build_row_count(self, demo_stanzas, brin):
+        total = sum(1 + len(s.entries) for s in demo_stanzas)
+        assert brin.total_rows() == total
+
+    def test_all_shards_exist(self, brin):
+        assert len(brin.shard_sizes()) == 8
+        assert brin.total_bytes() > 0
+
+    def test_same_parent_same_shard(self, brin):
+        import sqlite3
+
+        # every entry of one directory lands in exactly one shard
+        found_in = []
+        for i in range(8):
+            conn = sqlite3.connect(brin.shard_path(i))
+            n = conn.execute(
+                "SELECT COUNT(*) FROM entries WHERE parent='/proj/shared'"
+            ).fetchone()[0]
+            conn.close()
+            if n:
+                found_in.append(i)
+        assert len(found_in) == 1
+
+    def test_list_names(self, brin, demo_stanzas):
+        r = brin.list_names(nthreads=NTHREADS)
+        expected = sum(len(s.entries) for s in demo_stanzas)
+        assert len(r.rows) == expected
+        assert r.shards_read == 8
+
+    def test_uid_filter_still_scans_everything(self, brin):
+        r_all = brin.list_names(nthreads=NTHREADS)
+        r_uid = brin.list_names(uid=1001, nthreads=NTHREADS)
+        assert len(r_uid.rows) < len(r_all.rows)
+        # the defining limitation: every shard is still read
+        assert r_uid.shards_read == r_all.shards_read == 8
+
+    def test_du(self, brin, demo_stanzas):
+        expected = sum(e.size for s in demo_stanzas for e in s.entries)
+        r = brin.du(nthreads=NTHREADS)
+        assert r.rows[0][0] == pytest.approx(expected)
+
+    def test_du_uid(self, brin):
+        r = brin.du(uid=1001, nthreads=NTHREADS)
+        assert r.rows[0][0] == pytest.approx(100 + 250 + 700)
+
+    def test_dir_sizes_group_by(self, brin):
+        r = brin.dir_sizes(nthreads=NTHREADS)
+        sizes = dict(r.rows)
+        assert sizes["/home/bob"] == pytest.approx(300)
+
+    def test_tracer(self, brin):
+        from repro.sim.blktrace import IOTracer
+
+        tr = IOTracer()
+        brin.list_names(nthreads=NTHREADS, tracer=tr)
+        assert tr.num_reads == 8
+        assert tr.total_bytes == brin.total_bytes()
+
+    def test_walk_stats_for_fig8c(self, brin):
+        r = brin.list_names(nthreads=NTHREADS)
+        assert r.walk_stats is not None
+        assert len(r.walk_stats.thread_completion_times) == NTHREADS
+
+
+class TestPosixTools:
+    @pytest.fixture
+    def mount(self):
+        return MountedFS(build_demo_tree(), XFS_LOCAL)
+
+    def test_find_ls_counts(self, mount):
+        r = find_ls(mount, "/")
+        tree = mount.tree
+        total = tree.num_dirs + tree.num_files + tree.num_symlinks
+        assert r.entries_seen == total
+        assert r.modeled_time > 0
+
+    def test_permission_pruning(self):
+        m = MountedFS(build_demo_tree(), XFS_LOCAL)
+        r_root = find_ls(m, "/")
+        r_bob = find_ls(m, "/", creds=BOB)
+        assert r_bob.entries_seen < r_root.entries_seen
+
+    def test_du_total(self, mount):
+        r = du_s(mount, "/")
+        expected = sum(
+            i.size for _, i in mount.tree.iter_inodes()
+        )
+        assert r.bytes_total == expected
+
+    def test_find_names(self, mount):
+        r = find_names(mount, "/", name_substring=".txt")
+        assert r.matches == 3
+
+    def test_remote_costs_more(self):
+        t = build_demo_tree()
+        local = find_ls(MountedFS(t, XFS_LOCAL), "/")
+        nfs = find_ls(MountedFS(t, NFS), "/")
+        lustre = find_ls(MountedFS(t, LUSTRE), "/")
+        assert local.modeled_time < nfs.modeled_time < lustre.modeled_time
+
+    def test_getfattr_cost_proportional_to_total_files(self):
+        """Fig 9a's key asymmetry: xattr search cost on POSIX does not
+        depend on how many files actually carry the attribute."""
+        t = build_demo_tree()
+        m = MountedFS(t, XFS_LOCAL)
+        r_none = find_getfattr(m, "/", "user.absent")
+        t.setxattr("/home/bob/b.txt", "user.tag", b"x")
+        m2 = MountedFS(t, XFS_LOCAL)
+        r_one = find_getfattr(m2, "/", "user.tag")
+        assert r_one.entries_seen == r_none.entries_seen
+        assert r_one.modeled_time == pytest.approx(r_none.modeled_time, rel=0.01)
+        assert r_one.matches == 1 and r_none.matches == 0
+
+    def test_getfattr_file_list_skips_walk(self):
+        t = build_demo_tree()
+        m = MountedFS(t, XFS_LOCAL)
+        walked = find_getfattr(m, "/", "user.x")
+        m2 = MountedFS(t, XFS_LOCAL)
+        files = [p for p, i in t.iter_inodes() if i.ftype.value != "d"]
+        listed = find_getfattr(m2, "/", "user.x", file_list=files)
+        assert listed.modeled_time < walked.modeled_time
+
+    def test_getfattr_parallel_speedup(self):
+        t = build_demo_tree()
+        files = [p for p, i in t.iter_inodes() if i.ftype.value != "d"]
+        serial = find_getfattr(
+            MountedFS(t, XFS_LOCAL), "/", "user.x", file_list=files
+        )
+        par = find_getfattr(
+            MountedFS(t, XFS_LOCAL), "/", "user.x", file_list=files,
+            xargs_parallel=8,
+        )
+        assert par.modeled_time < serial.modeled_time
+
+    def test_getfattr_value_filter(self):
+        t = build_demo_tree()
+        t.setxattr("/home/bob/b.txt", "user.tag", b"needle-here")
+        t.setxattr("/public/readme", "user.tag", b"other")
+        m = MountedFS(t, XFS_LOCAL)
+        r = find_getfattr(m, "/", "user.tag", value_substring="needle")
+        assert r.matches == 1
+
+    def test_getfattr_permission_denied_values_skipped(self):
+        t = build_demo_tree()
+        t.setxattr("/home/alice/a.txt", "user.tag", b"private")
+        m = MountedFS(t, XFS_LOCAL)
+        files = ["/home/alice/a.txt"]
+        r = find_getfattr(m, "/", "user.tag", creds=BOB, file_list=files)
+        assert r.matches == 0

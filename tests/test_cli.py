@@ -1,0 +1,107 @@
+"""CLI tests: every subcommand through the argparse entry point."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.core.build import BuildOptions, dir2index
+from repro.scan.scanners import TreeWalkScanner
+from repro.scan.trace import write_trace
+from tests.conftest import NTHREADS, build_demo_tree
+
+
+@pytest.fixture
+def index_root(tmp_path):
+    tree = build_demo_tree()
+    dir2index(tree, tmp_path / "idx", opts=BuildOptions(nthreads=NTHREADS))
+    return str(tmp_path / "idx")
+
+
+def run_cli(*args) -> int:
+    return main(list(args))
+
+
+class TestCLI:
+    def test_trace2index(self, tmp_path, capsys):
+        tree = build_demo_tree()
+        stanzas = TreeWalkScanner(tree, nthreads=1).scan("/").stanzas
+        write_trace(stanzas, tmp_path / "t.trace")
+        rc = run_cli("trace2index", str(tmp_path / "t.trace"),
+                     str(tmp_path / "idx"), "-n", "2")
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "12 dirs" in out
+
+    def test_demo_index_and_stats(self, tmp_path, capsys):
+        rc = run_cli("demo-index", str(tmp_path / "idx"),
+                     "--scale", "0.00003", "-n", "2")
+        assert rc == 0
+        rc = run_cli("stats", str(tmp_path / "idx"))
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "databases:" in out
+
+    def test_query(self, index_root, capsys):
+        rc = run_cli("query", index_root, "-E", "SELECT name FROM pentries",
+                     "-n", "2")
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "b.txt" in out
+
+    def test_query_as_user(self, index_root, capsys):
+        rc = run_cli("query", index_root, "-E", "SELECT name FROM pentries",
+                     "--uid", "1002", "--gid", "1002", "-n", "2")
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "a.txt" not in out  # alice's private file
+        assert "b.txt" in out
+
+    def test_query_aggregation_flags(self, index_root, capsys):
+        rc = run_cli(
+            "query", index_root,
+            "-I", "CREATE TABLE sizes (s INTEGER)",
+            "-E", "INSERT INTO sizes SELECT TOTAL(size) FROM pentries",
+            "-J", "INSERT INTO aggregate.sizes SELECT TOTAL(s) FROM sizes",
+            "-G", "SELECT TOTAL(s) FROM sizes",
+            "-n", "2",
+        )
+        assert rc == 0
+        out = capsys.readouterr().out.strip()
+        assert float(out.splitlines()[-1]) > 0
+
+    def test_find(self, index_root, capsys):
+        rc = run_cli("find", index_root, "--name", "%.txt", "-n", "2")
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "/home/bob/b.txt" in out
+
+    def test_du_and_tsummary_flow(self, index_root, capsys):
+        rc = run_cli("du", index_root, "-n", "2")
+        assert rc == 0
+        du_plain = int(capsys.readouterr().out.strip())
+        assert run_cli("bfti", index_root) == 0
+        capsys.readouterr()
+        assert run_cli("du", index_root, "--tsummary", "-n", "2") == 0
+        du_ts = int(capsys.readouterr().out.strip())
+        assert du_ts == du_plain
+
+    def test_rollup_unrollup(self, index_root, capsys):
+        assert run_cli("rollup", index_root, "-n", "2") == 0
+        out = capsys.readouterr().out
+        assert "rolled" in out
+        assert run_cli("unrollup", index_root, "/home/alice") == 0
+
+    def test_rollup_with_limit(self, index_root, capsys):
+        assert run_cli("rollup", index_root, "-L", "2", "-n", "2") == 0
+        assert "limit" in capsys.readouterr().out
+
+    def test_missing_subcommand_exits(self):
+        with pytest.raises(SystemExit):
+            run_cli()
+
+    def test_unknown_index(self, tmp_path):
+        from repro.core.index import IndexError_
+
+        with pytest.raises(IndexError_):
+            run_cli("stats", str(tmp_path))

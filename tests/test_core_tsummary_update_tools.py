@@ -1,0 +1,255 @@
+"""Tests for tree summaries (bfti), incremental updates, and the
+user-facing tool layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import db as dbmod
+from repro.core.build import BuildOptions, dir2index
+from repro.core.query import GUFIQuery, Q1_LIST_PATHS, QuerySpec
+from repro.core.rollup import rollup
+from repro.core.schema import RECTYPE_GROUP, RECTYPE_OVERALL, RECTYPE_USER
+from repro.core.tools import FindFilters, GUFITools
+from repro.core.tsummary import build_tsummary, drop_tsummary
+from repro.core.update import update_directory
+from tests.conftest import ALICE, BOB, NTHREADS, build_demo_tree
+
+
+class TestTSummary:
+    def brute_force(self, tree, top="/"):
+        files = links = dirs = size = 0
+        for p, ino in tree.iter_inodes():
+            if p != top and not p.startswith(top.rstrip("/") + "/"):
+                continue
+            if ino.ftype.value == "d":
+                if p != top:
+                    dirs += 1
+                size += ino.size
+            else:
+                files += ino.ftype.value == "f"
+                links += ino.ftype.value == "l"
+                size += ino.size
+        return files, links, dirs, size
+
+    def test_overall_matches_brute_force(self, demo_tree, demo_index):
+        build_tsummary(demo_index, "/")
+        conn = dbmod.open_ro(demo_index.db_path("/"))
+        row = conn.execute(
+            "SELECT totfiles, totlinks, totsubdirs, totsize FROM tsummary "
+            "WHERE rectype = ?", (RECTYPE_OVERALL,),
+        ).fetchone()
+        conn.close()
+        files, links, dirs, size = self.brute_force(demo_tree)
+        assert row == (files, links, dirs, size)
+
+    def test_per_user_rows(self, demo_tree, demo_index):
+        build_tsummary(demo_index, "/")
+        conn = dbmod.open_ro(demo_index.db_path("/"))
+        per_user = dict(
+            conn.execute(
+                "SELECT uid, totfiles FROM tsummary WHERE rectype = ?",
+                (RECTYPE_USER,),
+            )
+        )
+        per_group = dict(
+            conn.execute(
+                "SELECT gid, totfiles FROM tsummary WHERE rectype = ?",
+                (RECTYPE_GROUP,),
+            )
+        )
+        conn.close()
+        alice_files = sum(
+            1 for _, i in demo_tree.iter_inodes()
+            if i.ftype.value == "f" and i.uid == 1001
+        )
+        assert per_user[1001] == alice_files
+        assert 100 in per_group
+
+    def test_subtree_scope(self, demo_tree, demo_index):
+        build_tsummary(demo_index, "/home/bob")
+        conn = dbmod.open_ro(demo_index.db_path("/home/bob"))
+        (size,) = conn.execute(
+            "SELECT totsize FROM tsummary WHERE rectype = 0"
+        ).fetchone()
+        conn.close()
+        assert size == self.brute_force(demo_tree, "/home/bob")[3]
+
+    def test_same_result_after_rollup_with_fewer_reads(self, demo_index):
+        r1 = build_tsummary(demo_index, "/")
+        conn = dbmod.open_ro(demo_index.db_path("/"))
+        before = conn.execute(
+            "SELECT totfiles, totsize FROM tsummary WHERE rectype=0"
+        ).fetchone()
+        conn.close()
+        rollup(demo_index, nthreads=NTHREADS)
+        r2 = build_tsummary(demo_index, "/")
+        conn = dbmod.open_ro(demo_index.db_path("/"))
+        after = conn.execute(
+            "SELECT totfiles, totsize FROM tsummary WHERE rectype=0"
+        ).fetchone()
+        conn.close()
+        assert before == after
+        assert r2.dirs_scanned < r1.dirs_scanned  # the paper's 14.8s->0.37s
+
+    def test_drop(self, demo_index):
+        build_tsummary(demo_index, "/")
+        drop_tsummary(demo_index, "/")
+        conn = dbmod.open_ro(demo_index.db_path("/"))
+        assert conn.execute("SELECT COUNT(*) FROM tsummary").fetchone()[0] == 0
+        conn.close()
+
+    def test_rebuild_replaces(self, demo_index):
+        build_tsummary(demo_index, "/")
+        build_tsummary(demo_index, "/")
+        conn = dbmod.open_ro(demo_index.db_path("/"))
+        n = conn.execute(
+            "SELECT COUNT(*) FROM tsummary WHERE rectype=0"
+        ).fetchone()[0]
+        conn.close()
+        assert n == 1
+
+
+class TestIncrementalUpdate:
+    def test_update_reflects_new_files(self, demo_tree, demo_index):
+        demo_tree.create_file("/home/bob/new.txt", size=999,
+                              mode=0o644, uid=1002, gid=1002)
+        update_directory(demo_index, demo_tree, "/home/bob")
+        q = GUFIQuery(demo_index, nthreads=NTHREADS)
+        rows = [r[0] for r in q.run(Q1_LIST_PATHS).rows]
+        assert "/home/bob/new.txt" in rows
+
+    def test_update_reflects_removed_files(self, demo_tree, demo_index):
+        demo_tree.unlink("/home/bob/b.txt")
+        update_directory(demo_index, demo_tree, "/home/bob")
+        q = GUFIQuery(demo_index, nthreads=NTHREADS)
+        rows = [r[0] for r in q.run(Q1_LIST_PATHS).rows]
+        assert "/home/bob/b.txt" not in rows
+
+    def test_security_fix_scenario(self, demo_tree, demo_index):
+        """§III-A3: a user exposed a secret in a file name, chmods the
+        directory, and requests an immediate index update — the name
+        must disappear for other users at once."""
+        demo_tree.create_file("/home/bob/SECRET-TOKEN-xyz", size=1,
+                              mode=0o600, uid=1002, gid=1002)
+        update_directory(demo_index, demo_tree, "/home/bob")
+        q_alice = GUFIQuery(demo_index, creds=ALICE, nthreads=NTHREADS)
+        rows = [r[0] for r in q_alice.run(Q1_LIST_PATHS).rows]
+        assert any("SECRET-TOKEN" in r for r in rows)  # name is metadata
+        # bob realises and locks his home dir
+        demo_tree.chmod("/home/bob", 0o700, BOB)
+        update_directory(demo_index, demo_tree, "/home/bob")
+        rows = [r[0] for r in q_alice.run(Q1_LIST_PATHS).rows]
+        assert not any("SECRET-TOKEN" in r for r in rows)
+
+    def test_update_unrolls_path_only(self, demo_tree, demo_index):
+        rollup(demo_index, nthreads=NTHREADS)
+        alice_rolled_before = demo_index.dir_meta("/home/alice").rolledup
+        demo_tree.create_file("/home/bob/secret/late.dat", size=4,
+                              mode=0o600, uid=1002, gid=1002)
+        result = update_directory(demo_index, demo_tree, "/home/bob/secret")
+        # the path to the target is unrolled; siblings keep theirs
+        assert demo_index.dir_meta("/home/alice").rolledup == alice_rolled_before
+        q = GUFIQuery(demo_index, creds=BOB, nthreads=NTHREADS)
+        rows = [r[0] for r in q.run(Q1_LIST_PATHS).rows]
+        assert "/home/bob/secret/late.dat" in rows
+
+    def test_recursive_update_prunes_stale_dirs(self, demo_tree, demo_index):
+        demo_tree.unlink("/home/bob/secret/s.key")
+        demo_tree.rmdir("/home/bob/secret", BOB)
+        update_directory(demo_index, demo_tree, "/home/bob", recursive=True)
+        assert not demo_index.index_dir("/home/bob/secret").exists()
+        q = GUFIQuery(demo_index, nthreads=NTHREADS)
+        rows = [r[0] for r in q.run(Q1_LIST_PATHS).rows]
+        assert not any("secret" in r for r in rows)
+
+    def test_update_converges_to_full_rebuild(self, demo_tree, tmp_path):
+        idx = dir2index(
+            demo_tree, tmp_path / "i1", opts=BuildOptions(nthreads=NTHREADS)
+        ).index
+        demo_tree.create_file("/proj/shared/newfile", size=11,
+                              mode=0o660, uid=1001, gid=100)
+        demo_tree.chmod("/proj/shared", 0o750)
+        update_directory(idx, demo_tree, "/proj/shared")
+        fresh = dir2index(
+            demo_tree, tmp_path / "i2", opts=BuildOptions(nthreads=NTHREADS)
+        ).index
+        q1 = sorted(GUFIQuery(idx, nthreads=NTHREADS).run(Q1_LIST_PATHS).rows)
+        q2 = sorted(GUFIQuery(fresh, nthreads=NTHREADS).run(Q1_LIST_PATHS).rows)
+        assert q1 == q2
+        assert idx.dir_meta("/proj/shared").mode == 0o750
+
+
+class TestTools:
+    def test_find_filters(self, demo_index):
+        tools = GUFITools(demo_index, nthreads=NTHREADS)
+        result = tools.find("/", FindFilters(min_size=300, ftype="f"))
+        paths = {r[0] for r in result.rows}
+        assert paths == {"/home/bob/b.txt", "/proj/shared/p.c",
+                         "/proj/shared/data/d.h5"}
+
+    def test_find_name_like(self, demo_index):
+        tools = GUFITools(demo_index, nthreads=NTHREADS)
+        result = tools.find("/", FindFilters(name_like="%.txt"))
+        assert all(p.endswith(".txt") for p, *_ in result.rows)
+        # root sees all three .txt files (including inside the 0711 dir)
+        assert len(result.rows) == 3
+
+    def test_find_respects_permissions(self, demo_index):
+        tools = GUFITools(demo_index, creds=BOB, nthreads=NTHREADS)
+        paths = {r[0] for r in tools.find("/").rows}
+        assert not any("alice" in p for p in paths)
+
+    def test_ls(self, demo_index):
+        tools = GUFITools(demo_index, nthreads=NTHREADS)
+        assert tools.ls("/home/bob") == ["b.txt"]
+        long = tools.ls("/home/bob", long_format=True)
+        assert "b.txt" in long[0] and "-rw-r--r--" in long[0]
+
+    def test_du_matches_sum(self, demo_tree, demo_index):
+        tools = GUFITools(demo_index, nthreads=NTHREADS)
+        expected = sum(
+            i.size for _, i in demo_tree.iter_inodes() if i.ftype.value != "d"
+        )
+        assert tools.du("/") == expected
+        build_tsummary(demo_index, "/")
+        assert tools.du("/", use_tsummary=True) == expected
+
+    def test_du_subtree(self, demo_index):
+        tools = GUFITools(demo_index, nthreads=NTHREADS)
+        assert tools.du("/home/alice") == 350
+
+    def test_dir_sizes(self, demo_index):
+        tools = GUFITools(demo_index, nthreads=NTHREADS)
+        sizes = dict(tools.dir_sizes("/home"))
+        assert sizes["/home/alice"] == 100  # direct entries only
+        assert sizes["/home/bob"] == 300
+
+    def test_largest_files(self, demo_index):
+        tools = GUFITools(demo_index, nthreads=NTHREADS)
+        top = tools.largest_files(limit=2)
+        assert [t[1] for t in top] == [900, 700]
+
+    def test_recently_modified(self, demo_index):
+        tools = GUFITools(demo_index, nthreads=NTHREADS)
+        recent = tools.recently_modified(limit=3)
+        assert len(recent) == 3
+        mtimes = [r[1] for r in recent]
+        assert mtimes == sorted(mtimes, reverse=True)
+
+    def test_space_by_user(self, demo_index):
+        tools = GUFITools(demo_index, nthreads=NTHREADS)
+        usage = tools.space_by_user("/")
+        assert usage[1001] == 100 + 250 + 700
+        assert usage[1002] == 300 + 50
+
+    def test_space_by_user_permission_scoped(self, demo_index):
+        tools = GUFITools(demo_index, creds=BOB, nthreads=NTHREADS)
+        usage = tools.space_by_user("/")
+        assert 1001 not in usage or usage[1001] < 1050  # alice's private files out
+
+    def test_xattr_search(self, xattr_namespace):
+        ns, tagged, needle, index = xattr_namespace
+        tools = GUFITools(index, nthreads=NTHREADS)
+        result = tools.xattr_search("needle")
+        assert any(needle == r[0] for r in result.rows)

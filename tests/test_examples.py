@@ -1,0 +1,36 @@
+"""Smoke tests for the runnable examples — each must complete and
+print its OK marker (they are deliverables, so they are tested)."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+pytestmark = pytest.mark.harness  # slow: each builds real indexes
+
+
+@pytest.mark.parametrize(
+    "script",
+    [
+        "quickstart.py",
+        "user_search.py",
+        "admin_reports.py",
+        "incremental_update.py",
+        "datacenter_search.py",
+        "operations.py",
+    ],
+)
+def test_example_runs_clean(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert "OK" in proc.stdout

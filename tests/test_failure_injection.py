@@ -1,0 +1,91 @@
+"""Failure-injection tests: damaged shards, interrupted builds, stale
+tracking rows — the query engine and validators must degrade, not die."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import db as dbmod
+from repro.core.build import BuildOptions, dir2index
+from repro.core.compose import validate
+from repro.core.query import GUFIQuery, Q1_LIST_PATHS, QuerySpec
+from repro.core.rollup import rollup
+from tests.conftest import NTHREADS, build_demo_tree
+
+
+@pytest.fixture
+def idx(tmp_path):
+    return dir2index(
+        build_demo_tree(), tmp_path / "idx", opts=BuildOptions(nthreads=NTHREADS)
+    ).index
+
+
+class TestCorruptShard:
+    def test_query_survives_garbage_db(self, idx):
+        idx.db_path("/home/bob").write_bytes(b"\xde\xad\xbe\xef" * 1000)
+        result = GUFIQuery(idx, nthreads=NTHREADS).run(Q1_LIST_PATHS)
+        assert result.dirs_errored == 1
+        paths = {r[0] for r in result.rows}
+        assert "/home/alice/a.txt" in paths  # the rest still answers
+        assert not any("bob" in p for p in paths)
+
+    def test_query_survives_truncated_db(self, idx):
+        p = idx.db_path("/proj/shared")
+        p.write_bytes(p.read_bytes()[:100])
+        result = GUFIQuery(idx, nthreads=NTHREADS).run(Q1_LIST_PATHS)
+        assert result.dirs_errored >= 1
+        assert result.rows
+
+    def test_query_survives_empty_file(self, idx):
+        idx.db_path("/public").write_bytes(b"")
+        result = GUFIQuery(idx, nthreads=NTHREADS).run(Q1_LIST_PATHS)
+        # sqlite treats a zero-length file as a valid empty db: no
+        # summary record -> skipped without error propagation
+        assert result.rows
+        assert not any("readme" in r[0] for r in result.rows)
+
+    def test_validate_reports_corruption(self, idx):
+        idx.db_path("/home/bob").write_bytes(b"junk" * 100)
+        report = validate(idx)
+        assert not report.ok
+
+    def test_user_sql_errors_still_propagate(self, idx):
+        """Corruption is survivable; a typo in the user's SQL is not
+        silently swallowed."""
+        with pytest.raises(RuntimeError):
+            GUFIQuery(idx, nthreads=NTHREADS).run(
+                QuerySpec(E="SELECT definitely_not_a_column FROM pentries")
+            )
+
+
+class TestPartialState:
+    def test_missing_db_prunes_quietly(self, idx):
+        (idx.index_dir("/home/alice") / "db.db").unlink()
+        result = GUFIQuery(idx, nthreads=NTHREADS).run(Q1_LIST_PATHS)
+        assert not any("alice" in r[0] for r in result.rows)
+        assert result.dirs_errored == 0  # absent, not corrupt
+
+    def test_stale_xattr_tracking_row(self, tmp_path):
+        """xattrs_avail names a side database that vanished (e.g. an
+        interrupted update): the xattr view builder must skip it."""
+        from repro.fs.tree import VFSTree
+
+        t = VFSTree()
+        t.mkdir("/d", mode=0o755, uid=1001, gid=1001)
+        t.create_file("/d/f", mode=0o600, uid=1002, gid=1002)
+        t.setxattr("/d/f", "user.k", b"v")
+        idx = dir2index(t, tmp_path / "i",
+                        opts=BuildOptions(nthreads=NTHREADS)).index
+        # both the per-user and the per-group side dbs vanished
+        (idx.index_dir("/d") / "xattrs.db.u1002").unlink()
+        (idx.index_dir("/d") / "xattrs.db.g1002.nr").unlink()
+        spec = QuerySpec(E="SELECT name FROM xpentries", xattrs=True)
+        result = GUFIQuery(idx, nthreads=NTHREADS).run(spec, "/d")
+        assert result.rows == []  # values gone, query fine
+
+    def test_rollup_after_corruption_raises(self, idx):
+        """Rollup is an admin write operation: corruption must be loud,
+        not silently merged around."""
+        idx.db_path("/home/bob").write_bytes(b"junk" * 500)
+        with pytest.raises(RuntimeError):
+            rollup(idx, nthreads=NTHREADS)

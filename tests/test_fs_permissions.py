@@ -1,0 +1,115 @@
+"""Unit tests for the POSIX permission evaluator — the security
+foundation everything else (engine gating, xattr sharding, rollup
+conditions) builds on."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fs.permissions import (
+    EXECUTE,
+    READ,
+    ROOT,
+    WRITE,
+    Credentials,
+    can_read_dir,
+    can_read_entry,
+    can_search_dir,
+    can_write_entry,
+    check_access,
+    format_mode,
+    mode_bits_for,
+)
+
+ALICE = Credentials(uid=1001, gid=1001)
+BOB_IN_G100 = Credentials(uid=1002, gid=1002, groups=frozenset({100}))
+OTHER = Credentials(uid=1999, gid=1999)
+
+
+class TestCredentials:
+    def test_primary_gid_always_member(self):
+        c = Credentials(uid=5, gid=7)
+        assert c.in_group(7)
+
+    def test_supplementary_groups(self):
+        c = Credentials(uid=5, gid=7, groups=frozenset({9, 11}))
+        assert c.in_group(9) and c.in_group(11) and c.in_group(7)
+        assert not c.in_group(8)
+
+    def test_root_flag(self):
+        assert ROOT.is_root
+        assert not ALICE.is_root
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            ALICE.uid = 0  # type: ignore[misc]
+
+
+class TestModeBits:
+    def test_owner_class_selected(self):
+        assert mode_bits_for(0o754, 1001, 1001, ALICE) == 0o7
+
+    def test_group_class_selected(self):
+        assert mode_bits_for(0o754, 1001, 100, BOB_IN_G100) == 0o5
+
+    def test_other_class_selected(self):
+        assert mode_bits_for(0o754, 1001, 100, OTHER) == 0o4
+
+    def test_no_fallthrough_owner_denied(self):
+        # Owner denied read does NOT inherit permissive other bits.
+        assert mode_bits_for(0o077, 1001, 1001, ALICE) == 0
+        assert mode_bits_for(0o077, 1001, 100, OTHER) == 0o7
+
+    def test_no_fallthrough_group_denied(self):
+        assert mode_bits_for(0o707, 1001, 100, BOB_IN_G100) == 0
+
+
+class TestAccessChecks:
+    @pytest.mark.parametrize(
+        "mode,creds,want,expect",
+        [
+            (0o700, ALICE, READ | WRITE | EXECUTE, True),
+            (0o700, OTHER, READ, False),
+            (0o750, BOB_IN_G100, READ | EXECUTE, True),
+            (0o750, BOB_IN_G100, WRITE, False),
+            (0o755, OTHER, READ | EXECUTE, True),
+            (0o755, OTHER, WRITE, False),
+        ],
+    )
+    def test_check_access_matrix(self, mode, creds, want, expect):
+        assert check_access(mode, 1001, 100, creds, want) is expect
+
+    def test_root_bypasses_rw(self):
+        assert check_access(0o000, 1001, 1001, ROOT, READ | WRITE)
+
+    def test_search_dir(self):
+        assert can_search_dir(0o711, 0, 0, OTHER)
+        assert not can_read_dir(0o711, 0, 0, OTHER)
+
+    def test_read_dir_without_search(self):
+        assert can_read_dir(0o644, 0, 0, OTHER)
+        assert not can_search_dir(0o644, 0, 0, OTHER)
+
+    def test_root_always_searches(self):
+        assert can_search_dir(0o000, 1001, 1001, ROOT)
+        assert can_read_dir(0o000, 1001, 1001, ROOT)
+
+    def test_entry_read_write(self):
+        assert can_read_entry(0o640, 1001, 100, BOB_IN_G100)
+        assert not can_write_entry(0o640, 1001, 100, BOB_IN_G100)
+        assert can_write_entry(0o640, 1001, 100, ALICE)
+
+
+class TestFormatMode:
+    @pytest.mark.parametrize(
+        "ftype,mode,expect",
+        [
+            ("d", 0o755, "drwxr-xr-x"),
+            ("f", 0o644, "-rw-r--r--"),
+            ("l", 0o777, "lrwxrwxrwx"),
+            ("f", 0o000, "----------"),
+            ("d", 0o711, "drwx--x--x"),
+        ],
+    )
+    def test_strings(self, ftype, mode, expect):
+        assert format_mode(ftype, mode) == expect

@@ -1,0 +1,241 @@
+"""Unit tests for the simulated POSIX tree: namespace operations,
+permission enforcement on every syscall-equivalent, error semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fs.errors import (
+    AlreadyExists,
+    InvalidArgument,
+    IsADirectory,
+    NoSuchEntry,
+    NotADirectory,
+    NotEmpty,
+    PermissionDenied,
+    TooManyLinks,
+)
+from repro.fs.inode import FileType
+from repro.fs.permissions import Credentials
+from repro.fs.tree import VFSTree
+
+ALICE = Credentials(uid=1001, gid=1001)
+BOB = Credentials(uid=1002, gid=1002)
+
+
+@pytest.fixture
+def tree():
+    t = VFSTree()
+    t.mkdir("/a", mode=0o755, uid=1001, gid=1001)
+    t.create_file("/a/f1", size=10, mode=0o644, uid=1001, gid=1001)
+    return t
+
+
+class TestCreation:
+    def test_mkdir_and_stat(self, tree):
+        st = tree.stat("/a")
+        assert st.ftype is FileType.DIRECTORY
+        assert st.perm == 0o755
+        assert st.st_uid == 1001
+
+    def test_makedirs(self, tree):
+        tree.makedirs("/x/y/z")
+        assert tree.stat("/x/y/z").ftype is FileType.DIRECTORY
+
+    def test_makedirs_idempotent(self, tree):
+        tree.makedirs("/x/y")
+        tree.makedirs("/x/y")  # no error
+        assert tree.exists("/x/y")
+
+    def test_create_file_size_and_blocks(self, tree):
+        tree.create_file("/a/big", size=1024)
+        st = tree.stat("/a/big")
+        assert st.st_size == 1024
+        assert st.st_blocks == 2  # 512-byte units
+
+    def test_duplicate_raises(self, tree):
+        with pytest.raises(AlreadyExists):
+            tree.create_file("/a/f1")
+
+    def test_create_under_file_raises(self, tree):
+        with pytest.raises(NotADirectory):
+            tree.create_file("/a/f1/x")
+
+    def test_relative_path_rejected(self, tree):
+        with pytest.raises(InvalidArgument):
+            tree.stat("a/f1")
+
+    def test_nlink_counts_subdirs(self, tree):
+        assert tree.stat("/a").st_nlink == 2
+        tree.mkdir("/a/sub1")
+        tree.mkdir("/a/sub2")
+        assert tree.stat("/a").st_nlink == 4
+
+    def test_counters(self, tree):
+        assert tree.num_dirs == 2  # / and /a
+        assert tree.num_files == 1
+        tree.symlink("/a/l1", "/a/f1")
+        assert tree.num_symlinks == 1
+
+    def test_explicit_ownership_override(self, tree):
+        tree.create_file("/a/owned", uid=42, gid=43)
+        st = tree.stat("/a/owned")
+        assert (st.st_uid, st.st_gid) == (42, 43)
+
+
+class TestSymlinks:
+    def test_follow_on_stat(self, tree):
+        tree.symlink("/a/l", "/a/f1")
+        assert tree.stat("/a/l").st_size == 10
+        assert tree.lstat("/a/l").ftype is FileType.SYMLINK
+
+    def test_readlink(self, tree):
+        tree.symlink("/a/l", "/a/f1")
+        assert tree.readlink("/a/l") == "/a/f1"
+
+    def test_relative_target(self, tree):
+        tree.symlink("/a/l", "f1")
+        assert tree.stat("/a/l").st_size == 10
+
+    def test_dangling(self, tree):
+        tree.symlink("/a/l", "/nope")
+        with pytest.raises(NoSuchEntry):
+            tree.stat("/a/l")
+
+    def test_loop_detected(self, tree):
+        tree.symlink("/a/l1", "/a/l2")
+        tree.symlink("/a/l2", "/a/l1")
+        with pytest.raises(TooManyLinks):
+            tree.stat("/a/l1")
+
+    def test_symlink_through_path(self, tree):
+        tree.mkdir("/target")
+        tree.create_file("/target/t.txt", size=5)
+        tree.symlink("/a/dirlink", "/target")
+        assert tree.stat("/a/dirlink/t.txt").st_size == 5
+
+
+class TestRemoval:
+    def test_unlink(self, tree):
+        tree.unlink("/a/f1")
+        assert not tree.exists("/a/f1")
+        assert tree.num_files == 0
+
+    def test_unlink_directory_raises(self, tree):
+        with pytest.raises(IsADirectory):
+            tree.unlink("/a")
+
+    def test_rmdir_nonempty_raises(self, tree):
+        with pytest.raises(NotEmpty):
+            tree.rmdir("/a")
+
+    def test_rmdir(self, tree):
+        tree.mkdir("/a/sub")
+        tree.rmdir("/a/sub")
+        assert not tree.exists("/a/sub")
+        assert tree.stat("/a").st_nlink == 2
+
+    def test_rmdir_file_raises(self, tree):
+        with pytest.raises(NotADirectory):
+            tree.rmdir("/a/f1")
+
+
+class TestPermissionEnforcement:
+    def test_stat_needs_ancestor_search(self):
+        t = VFSTree()
+        t.mkdir("/private", mode=0o700, uid=1001, gid=1001)
+        t.create_file("/private/f", size=1, uid=1001, gid=1001)
+        with pytest.raises(PermissionDenied):
+            t.stat("/private/f", BOB)
+        # owner and root are fine
+        assert t.stat("/private/f", ALICE).st_size == 1
+        assert t.stat("/private/f").st_size == 1
+
+    def test_stat_does_not_need_entry_read(self):
+        # §III-A1: stat requires ancestor x bits, not the entry's r bit.
+        t = VFSTree()
+        t.mkdir("/open", mode=0o755, uid=0, gid=0)
+        t.create_file("/open/locked", size=9, mode=0o000, uid=1001, gid=1001)
+        assert t.stat("/open/locked", BOB).st_size == 9
+
+    def test_readdir_needs_read_bit(self):
+        t = VFSTree()
+        t.mkdir("/xonly", mode=0o711, uid=0, gid=0)
+        t.create_file("/xonly/f", size=1)
+        with pytest.raises(PermissionDenied):
+            t.readdir("/xonly", BOB)
+        # but a known name inside is stat-able (x grants traversal)
+        assert t.stat("/xonly/f", BOB).st_size == 1
+
+    def test_create_needs_parent_write(self):
+        t = VFSTree()
+        t.mkdir("/ro", mode=0o755, uid=0, gid=0)
+        with pytest.raises(PermissionDenied):
+            t.create_file("/ro/new", creds=BOB)
+
+    def test_chmod_owner_only(self, tree):
+        with pytest.raises(PermissionDenied):
+            tree.chmod("/a/f1", 0o600, BOB)
+        tree.chmod("/a/f1", 0o600, ALICE)
+        assert tree.stat("/a/f1").perm == 0o600
+
+    def test_chown_root_only(self, tree):
+        with pytest.raises(PermissionDenied):
+            tree.chown("/a/f1", 1, 1, ALICE)
+        tree.chown("/a/f1", 1, 1)
+        assert tree.stat("/a/f1").st_uid == 1
+
+    def test_unlink_needs_parent_write(self):
+        t = VFSTree()
+        t.mkdir("/d", mode=0o755, uid=1001, gid=1001)
+        t.create_file("/d/f", uid=1002, gid=1002, mode=0o666)
+        with pytest.raises(PermissionDenied):
+            t.unlink("/d/f", BOB)  # file writable but dir isn't
+        t.unlink("/d/f", ALICE)
+
+
+class TestWalk:
+    def test_walk_order_and_coverage(self, tree):
+        tree.mkdir("/a/s1")
+        tree.mkdir("/a/s2")
+        tree.create_file("/a/s1/x")
+        walked = list(tree.walk("/"))
+        paths = [w[0] for w in walked]
+        assert paths[0] == "/"
+        assert set(paths) == {"/", "/a", "/a/s1", "/a/s2"}
+        byp = {w[0]: w for w in walked}
+        assert byp["/a"][1] == ["s1", "s2"]
+        assert byp["/a"][2] == ["f1"]
+
+    def test_walk_skips_denied(self):
+        t = VFSTree()
+        t.mkdir("/secret", mode=0o700, uid=1001, gid=1001)
+        t.mkdir("/secret/inner", mode=0o755, uid=1001, gid=1001)
+        t.mkdir("/open", mode=0o755)
+        paths = [w[0] for w in t.walk("/", BOB)]
+        assert "/secret" not in paths  # listed name but unreadable dir
+        assert "/open" in paths
+
+    def test_iter_inodes_complete(self, tree):
+        tree.mkdir("/a/sub")
+        entries = dict(tree.iter_inodes())
+        assert set(entries) == {"/", "/a", "/a/f1", "/a/sub"}
+
+
+class TestTimestamps:
+    def test_monotone_clock(self, tree):
+        st1 = tree.stat("/a/f1")
+        tree.create_file("/a/f2")
+        st2 = tree.stat("/a/f2")
+        assert st2.st_ctime > st1.st_ctime
+
+    def test_utime(self, tree):
+        tree.utime("/a/f1", atime=5, mtime=7, creds=ALICE)
+        st = tree.stat("/a/f1")
+        assert (st.st_atime, st.st_mtime) == (5, 7)
+
+    def test_set_time_only_forward(self, tree):
+        tree.set_time(10_000)
+        tree.set_time(5)  # ignored
+        tree.create_file("/a/new")
+        assert tree.stat("/a/new").st_mtime > 10_000

@@ -1,0 +1,100 @@
+"""Xattr protection semantics on the VFS (names are metadata, values
+are data — §III-A1/§III-A2) and snapshot isolation/diffing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fs.errors import NoSuchAttr, PermissionDenied
+from repro.fs.permissions import Credentials
+from repro.fs.snapshot import diff_snapshots, snapshot
+from repro.fs.tree import VFSTree
+
+ALICE = Credentials(uid=1001, gid=1001)
+BOB = Credentials(uid=1002, gid=1002)
+
+
+@pytest.fixture
+def tree():
+    t = VFSTree()
+    t.mkdir("/d", mode=0o755, uid=1001, gid=1001)
+    t.create_file("/d/f", size=5, mode=0o640, uid=1001, gid=1001)
+    t.setxattr("/d/f", "user.tag", b"hello", ALICE)
+    return t
+
+
+class TestXattrOps:
+    def test_set_get_list_remove(self, tree):
+        assert tree.getxattr("/d/f", "user.tag", ALICE) == b"hello"
+        assert tree.listxattr("/d/f", ALICE) == ["user.tag"]
+        tree.setxattr("/d/f", "user.b", b"\x00\x01", ALICE)
+        assert tree.listxattr("/d/f", ALICE) == ["user.b", "user.tag"]
+        tree.removexattr("/d/f", "user.b", ALICE)
+        assert tree.listxattr("/d/f", ALICE) == ["user.tag"]
+
+    def test_missing_attr(self, tree):
+        with pytest.raises(NoSuchAttr):
+            tree.getxattr("/d/f", "user.none", ALICE)
+        with pytest.raises(NoSuchAttr):
+            tree.removexattr("/d/f", "user.none", ALICE)
+
+    def test_names_are_metadata_values_are_data(self, tree):
+        # Bob cannot read the file (0640, not owner/group) -> value denied
+        with pytest.raises(PermissionDenied):
+            tree.getxattr("/d/f", "user.tag", BOB)
+        # ...but names only need ancestor search bits.
+        assert tree.listxattr("/d/f", BOB) == ["user.tag"]
+
+    def test_set_needs_write(self, tree):
+        with pytest.raises(PermissionDenied):
+            tree.setxattr("/d/f", "user.evil", b"x", BOB)
+
+    def test_value_copied(self, tree):
+        val = bytearray(b"mut")
+        tree.setxattr("/d/f", "user.m", bytes(val), ALICE)
+        val[0] = ord("X")
+        assert tree.getxattr("/d/f", "user.m", ALICE) == b"mut"
+
+
+class TestSnapshot:
+    def test_snapshot_is_isolated(self, tree):
+        snap = snapshot(tree)
+        tree.create_file("/d/new", size=1)
+        tree.unlink("/d/f")
+        assert not snap.exists("/d/new")
+        assert snap.stat("/d/f").st_size == 5
+
+    def test_snapshot_preserves_xattrs(self, tree):
+        snap = snapshot(tree)
+        tree.removexattr("/d/f", "user.tag", ALICE)
+        assert snap.getxattr("/d/f", "user.tag", ALICE) == b"hello"
+
+    def test_snapshot_counts(self, tree):
+        snap = snapshot(tree)
+        assert snap.num_dirs == tree.num_dirs
+        assert snap.num_files == tree.num_files
+
+    def test_diff_created_removed_changed(self, tree):
+        old = snapshot(tree)
+        tree.create_file("/d/new", size=100)
+        tree.unlink("/d/f")
+        tree.mkdir("/d/sub")
+        new = snapshot(tree)
+        diff = diff_snapshots(old, new)
+        assert "/d/new" in diff.created
+        assert "/d/sub" in diff.created
+        assert "/d/f" in diff.removed
+        assert diff.bytes_delta == 100 - 5
+
+    def test_diff_detects_chmod(self, tree):
+        old = snapshot(tree)
+        tree.chmod("/d/f", 0o600, ALICE)
+        diff = diff_snapshots(old, snapshot(tree))
+        assert diff.changed == ["/d/f"]
+        assert diff.total_mutations == 1
+
+    def test_diff_empty(self, tree):
+        old = snapshot(tree)
+        diff = diff_snapshots(old, snapshot(tree))
+        assert diff.total_mutations == 0
+        assert diff.bytes_delta == 0

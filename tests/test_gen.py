@@ -1,0 +1,173 @@
+"""Tests for synthetic namespace generation: determinism, target
+counts, layout-specific permission structure, xattr application."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gen.datasets import (
+    TABLE1_SCAN_TYPE,
+    dataset1,
+    dataset2,
+    linux_kernel_tree,
+    table1_names,
+    table1_namespace,
+    table1_paper_counts,
+)
+from repro.gen.distributions import Population, Sampler
+from repro.gen.namespace import (
+    Layout,
+    NamespaceSpec,
+    apply_xattrs,
+    build_namespace,
+)
+
+
+class TestSampler:
+    def test_deterministic(self):
+        a, b = Sampler(42), Sampler(42)
+        assert [a.file_size() for _ in range(20)] == [
+            b.file_size() for _ in range(20)
+        ]
+
+    def test_different_seeds_differ(self):
+        assert [Sampler(1).filename() for _ in range(5)] != [
+            Sampler(2).filename() for _ in range(5)
+        ]
+
+    def test_zipf_skewed(self):
+        s = Sampler(7)
+        picks = [s.zipf_index(100) for _ in range(2000)]
+        # index 0 should dominate
+        assert picks.count(0) > picks.count(50) * 3
+        assert all(0 <= p < 100 for p in picks)
+
+    def test_zipf_degenerate(self):
+        assert Sampler(0).zipf_index(1) == 0
+
+    def test_fanout_bounded(self):
+        s = Sampler(3)
+        assert all(0 <= s.fanout(maximum=50) <= 50 for _ in range(500))
+
+    def test_file_size_nonnegative(self):
+        s = Sampler(3)
+        assert all(s.file_size() >= 0 for _ in range(200))
+
+    def test_age_bounded(self):
+        s = Sampler(3)
+        horizon = 1000
+        assert all(0 <= s.age_seconds(horizon) <= horizon for _ in range(200))
+
+
+class TestPopulation:
+    def test_make(self):
+        pop = Population.make(5, n_shared_groups=3)
+        assert len(pop.uids) == 5
+        assert len(pop.shared_gids) == 3
+        assert all(pop.primary_gid[u] == u for u in pop.uids)
+
+
+class TestBuildNamespace:
+    def test_counts_hit_targets(self):
+        spec = NamespaceSpec(
+            name="t", n_dirs=100, n_files=500, layout=Layout.HOME,
+            n_users=5, seed=1,
+        )
+        ns = build_namespace(spec)
+        assert ns.tree.num_dirs >= 100  # +containers
+        assert ns.tree.num_files + ns.tree.num_symlinks == 500
+        assert len(ns.files) == 500
+
+    def test_deterministic(self):
+        spec = dict(name="t", n_dirs=50, n_files=120, layout=Layout.SCRATCH,
+                    n_users=4, seed=9)
+        a = build_namespace(NamespaceSpec(**spec))
+        b = build_namespace(NamespaceSpec(**spec))
+        assert a.dirs == b.dirs
+        assert a.files == b.files
+        sa = {p: (i.mode, i.uid, i.gid, i.size) for p, i in a.tree.iter_inodes()}
+        sb = {p: (i.mode, i.uid, i.gid, i.size) for p, i in b.tree.iter_inodes()}
+        assert sa == sb
+
+    def test_home_layout_single_owner_areas(self):
+        spec = NamespaceSpec(
+            name="t", n_dirs=120, n_files=200, layout=Layout.HOME,
+            n_users=6, seed=5,
+        )
+        ns = build_namespace(spec)
+        # each area is overwhelmingly owned by its user
+        for root in ns.area_roots:
+            owner = ns.area_roots[root].uid
+            owned = total = 0
+            for p, ino in ns.tree.iter_inodes():
+                if p.startswith(root + "/") or p == root:
+                    total += 1
+                    owned += ino.uid == owner
+            assert owned / total > 0.9
+
+    def test_project_layout_mixed(self):
+        spec = NamespaceSpec(
+            name="t", n_dirs=200, n_files=300, layout=Layout.PROJECT,
+            n_users=8, seed=5,
+        )
+        ns = build_namespace(spec)
+        owners = {i.uid for _, i in ns.tree.iter_inodes()}
+        assert len(owners) > 2  # genuinely mixed ownership
+
+    def test_kernel_layout_world_readable(self):
+        ns = linux_kernel_tree(scale=0.02)
+        for p, ino in ns.tree.iter_inodes():
+            if ino.ftype.value == "d":
+                assert ino.mode & 0o005 == 0o005, p
+
+
+class TestDatasets:
+    def test_kernel_counts(self):
+        ns = linux_kernel_tree(scale=0.1)
+        assert 300 <= ns.tree.num_dirs <= 600
+        assert ns.tree.num_files + ns.tree.num_symlinks == 7400
+
+    def test_dataset_presets(self):
+        d1 = dataset1(scale=0.001)
+        d2 = dataset2(scale=0.0001)
+        assert d1.spec.layout is Layout.HOME
+        assert d2.spec.layout is Layout.SCRATCH
+
+    def test_table1(self):
+        assert set(table1_names()) == set(TABLE1_SCAN_TYPE)
+        dirs, files = table1_paper_counts("/users")
+        assert (dirs, files) == (6_100_000, 43_000_000)
+        ns = table1_namespace("/proj", scale=5e-5)
+        assert ns.tree.num_dirs > 100
+
+    def test_table1_deterministic_across_calls(self):
+        a = table1_namespace("/users", scale=5e-5)
+        b = table1_namespace("/users", scale=5e-5)
+        assert a.dirs == b.dirs
+
+
+class TestApplyXattrs:
+    def test_coverage_and_needle(self):
+        ns = dataset2(scale=0.0001, seed=3)
+        tagged, needle = apply_xattrs(ns, 0.5)
+        frac = len(tagged) / len(ns.files)
+        assert 0.35 < frac < 0.65
+        assert needle in tagged
+        assert ns.tree.getxattr(needle, "user.needle") == b"found-me"
+        # every tagged file carries the sentinel
+        for p in tagged[:50]:
+            assert ns.tree.getxattr(p, "user.ext") == b"1"
+
+    def test_full_coverage(self):
+        ns = dataset2(scale=0.0001, seed=3)
+        tagged, _ = apply_xattrs(ns, 1.0)
+        n_symlinks = sum(
+            1 for p in ns.files if ns.tree.lstat(p).ftype.value == "l"
+        )
+        # all regular files tagged; symlinks cannot carry user xattrs
+        assert len(tagged) == len(ns.files) - n_symlinks
+
+    def test_zero_coverage_still_has_needle(self):
+        ns = dataset2(scale=0.0001, seed=3)
+        tagged, needle = apply_xattrs(ns, 0.0)
+        assert len(tagged) == 1 and needle == tagged[0]

@@ -1,0 +1,164 @@
+"""Tests for the experiment harness: result-table rendering and each
+figure driver at tiny scale (shape checks, not absolute numbers)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import (
+    ResultTable,
+    fig1,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fmt_bytes,
+    fmt_duration,
+    ingest_rate,
+    rollup_reduction,
+    table1,
+)
+
+pytestmark = pytest.mark.harness
+
+
+class TestResultTable:
+    def test_add_and_render(self):
+        t = ResultTable(title="T", columns=["a", "b"])
+        t.add("x", 1.5)
+        t.add("y", 12345)
+        t.note("hello")
+        out = t.render()
+        assert "T" in out and "1.50" in out and "12,345" in out
+        assert "note: hello" in out
+
+    def test_wrong_arity(self):
+        t = ResultTable(title="T", columns=["a", "b"])
+        with pytest.raises(ValueError):
+            t.add(1)
+
+    def test_column_access(self):
+        t = ResultTable(title="T", columns=["a", "b"])
+        t.add("x", 1)
+        t.add("y", 2)
+        assert t.column("b") == [1, 2]
+
+    def test_markdown(self):
+        t = ResultTable(title="T", columns=["a"])
+        t.add(3.14159)
+        md = t.to_markdown()
+        assert md.startswith("### T")
+        assert "| 3.14 |" in md
+
+    def test_formatters(self):
+        assert fmt_bytes(2048) == "2.0 KiB"
+        assert fmt_bytes(3.5e9).endswith("GiB")
+        assert fmt_duration(0.5e-3) == "500 µs"
+        assert fmt_duration(65) == "65.00 s"
+        assert fmt_duration(600).endswith("min")
+
+
+class TestFig1:
+    def test_shape(self):
+        t = fig1(scale=0.03, nthreads=2)
+        times = dict(zip(t.column("system"), t.column("find -ls (s)")))
+        # the paper's ordering: parallel FS >> NFS >> local/GUFI
+        assert times["gpfs"] > times["nfs"] > times["xfs-local"]
+        assert times["lustre"] > times["xfs-local"]
+        assert times["gufi (modelled)"] < times["nfs"]
+
+
+class TestTable1:
+    def test_all_filesystems_present(self):
+        t = table1(scale=3e-5, nthreads=2)
+        assert len(t.rows) == 5
+        kinds = set(t.column("scan type"))
+        assert kinds == {"treewalk", "lester", "sql"}
+
+
+class TestFig7:
+    def test_saturation_shape(self):
+        t = fig7(scale=0.0005, thread_counts=(1, 56, 112, 224, 896),
+                 host_configs=(1, 2, 4))
+        util1 = dict(zip(t.column("threads"), t.column("util% (1 SSD)")))
+        util4 = dict(zip(t.column("threads"), t.column("util% (4 SSD)")))
+        assert util1[1] < 5
+        assert util1[112] > 95  # saturation near 112 threads
+        assert util1[896] == pytest.approx(util1[224])
+        # 4 SSDs: host-limited well below the device ceiling
+        assert util4[896] < 60
+
+
+class TestFig8:
+    def test_tradeoff_shape(self):
+        table, fig8c, completions = fig8(
+            scale=0.00005, nthreads=2, n_shards=8,
+            limit_fractions=(0.0, 0.05, None),
+        )
+        configs = table.column("config")
+        assert configs[0] == "NONE" and "MAX" in configs
+        dbs = dict(zip(configs, table.column("visible DBs")))
+        assert dbs["MAX"] < dbs["NONE"]
+        bpe = dict(zip(configs, table.column("bytes/entry")))
+        # bytes/entry falls monotonically with the rollup limit
+        gufi_bpe = [bpe[c] for c in configs if not c.startswith("brindexer")]
+        assert gufi_bpe == sorted(gufi_bpe, reverse=True)
+        # rollup closes (more than halves) the gap to Brindexer; the
+        # paper's full crossover needs production-depth paths — see
+        # EXPERIMENTS.md
+        brin = next(c for c in configs if c.startswith("brindexer"))
+        assert (bpe["MAX"] - bpe[brin]) < 0.5 * (bpe["NONE"] - bpe[brin])
+        assert set(completions) >= {"NONE", "MAX", "brindexer"}
+        assert len(fig8c.rows) >= 3
+
+
+class TestFig9:
+    def test_proportionality_shape(self):
+        t = fig9(scale=0.0001, coverages=(0.25, 1.0), nthreads=2)
+        xfs = t.column("xfs find+getfattr (s)")
+        gufi_modelled = t.column("gufi scan modelled (s)")
+        # XFS cost ~constant across coverage; GUFI modelled cost grows
+        # with coverage but stays below the XFS walk
+        assert xfs[0] == pytest.approx(xfs[1], rel=0.15)
+        assert all(g < x for g, x in zip(gufi_modelled, xfs))
+        # the paper's two figure shapes: the speedup over XFS shrinks
+        # as coverage grows (33x -> 12x), and the stab query beats the
+        # scan because it emits ~no rows (2-5x)
+        speedups = t.column("modelled speedup vs xfs")
+        assert speedups[0] > speedups[1]
+        gains = t.column("modelled scan/stab")
+        assert all(g > 1.2 for g in gains)
+        assert gains[1] > gains[0]  # gap grows with coverage
+
+
+class TestFig10:
+    def test_speedup_shape(self):
+        a, b = fig10(scale=0.00005, nthreads=2, n_shards=16, n_users=3,
+                     rollup_fraction=1 / 50)
+        speedups = a.column("modelled speedup")
+        assert len(speedups) == 4
+        # Q1-Q3 sit near parity at this scale (the paper's 1.5-8.2x
+        # needs its 64.7M-row volumes; see EXPERIMENTS.md) — assert no
+        # catastrophic loss and Q4's tsummary dominance
+        assert all(s > 0.4 for s in speedups[:3])
+        assert speedups[3] == max(speedups)
+        assert speedups[3] > 10 * max(speedups[:3])
+        # proportionality: unprivileged users' summary-backed queries
+        # (2-4) gain at least as much as root's (their traversal
+        # shrinks; Brindexer's never does)
+        user_speedups = b.column("modelled speedup")
+        assert user_speedups[3] > 10
+        assert sum(user_speedups[1:3]) >= 0.8 * sum(speedups[1:3])
+
+
+class TestTextClaims:
+    def test_rollup_reduction_runs(self):
+        t = rollup_reduction(scale=4e-5, nthreads=2)
+        assert len(t.rows) == 5
+        factors = [float(str(f).rstrip("x")) for f in t.column("reduction")]
+        assert all(f >= 1 for f in factors)
+
+    def test_ingest_rate(self):
+        t = ingest_rate(n_dirs=60, files_per_dir=20, nthreads=2)
+        assert t.rows[0][3] > 0  # dirs/s
+        assert t.rows[0][4] > 0  # rows/s

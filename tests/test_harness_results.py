@@ -1,0 +1,91 @@
+"""Tests for result rendering (tables, CSV, ASCII charts) and the
+modelled-time helper the figure drivers share."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.experiments import PER_DB_OVERHEAD, modeled_gufi_time
+from repro.harness.results import ResultTable, ascii_chart
+from repro.sim.blktrace import IOTracer
+from repro.sim.ssd import SSDModel, StorageHost
+
+
+class TestCsv:
+    def test_roundtrippable(self):
+        import csv
+        import io
+
+        t = ResultTable(title="T", columns=["a", "b"])
+        t.add("x,with,commas", 1.5)
+        t.add("y", None)
+        rows = list(csv.reader(io.StringIO(t.to_csv())))
+        assert rows[0] == ["a", "b"]
+        assert rows[1] == ["x,with,commas", "1.5"]
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        chart = ascii_chart(
+            "demo", {"s": [(1, 0.0), (2, 5.0), (3, 10.0)]}, width=20, height=5
+        )
+        lines = chart.splitlines()
+        assert lines[0] == "demo"
+        assert "* s" in lines[-1]
+        # min and max labels present
+        assert any("10" in ln for ln in lines)
+        assert any("0" in ln for ln in lines)
+
+    def test_multi_series_glyphs(self):
+        chart = ascii_chart(
+            "m", {"one": [(1, 1)], "two": [(2, 2)]}, width=10, height=4
+        )
+        assert "* one" in chart and "o two" in chart
+        assert "*" in chart and "o" in chart
+
+    def test_logx(self):
+        chart = ascii_chart(
+            "log", {"s": [(1, 1), (10, 2), (100, 3), (1000, 4)]},
+            width=30, height=6, logx=True,
+        )
+        assert "log10(x)" in chart
+        # equal spacing in log space: the glyph columns are evenly spread
+        rows = [ln.split("|", 1)[1] for ln in chart.splitlines()
+                if "|" in ln]
+        cols = sorted(
+            row.index("*") for row in rows if "*" in row
+        )
+        gaps = [b - a for a, b in zip(cols, cols[1:])]
+        assert max(gaps) - min(gaps) <= 2
+
+    def test_empty(self):
+        assert "(no data)" in ascii_chart("e", {})
+
+    def test_flat_series(self):
+        chart = ascii_chart("flat", {"s": [(1, 5), (2, 5)]}, width=10, height=4)
+        assert "flat" in chart  # no div-by-zero
+
+
+class TestModeledTime:
+    def test_io_plus_overhead(self):
+        tr = IOTracer()
+        for i in range(10):
+            tr.record(f"/db{i}", 1_000_000)
+        host = StorageHost(
+            SSDModel(max_bw=1e9, stream_bw=1e9, min_efficient_read=1),
+            n_ssds=1,
+        )
+        t = modeled_gufi_time(tr, nthreads=1, host=host)
+        expected = 10e6 / 1e9 + 10 * PER_DB_OVERHEAD
+        assert t == pytest.approx(expected)
+
+    def test_threads_amortise_overhead(self):
+        tr = IOTracer()
+        for i in range(100):
+            tr.record(f"/db{i}", 10_000)
+        host = StorageHost(SSDModel(), n_ssds=1)
+        assert modeled_gufi_time(tr, 100, host) < modeled_gufi_time(tr, 1, host)
+
+    def test_empty_trace(self):
+        host = StorageHost(SSDModel(), n_ssds=1)
+        assert modeled_gufi_time(IOTracer(), 4, host) == 0.0

@@ -1,0 +1,209 @@
+"""Tests for the scanning layer: parallel walker semantics, trace
+format round-trips, and scanner-family equivalence."""
+
+from __future__ import annotations
+
+import io
+import threading
+
+import pytest
+
+from repro.fs.tree import VFSTree
+from repro.gen.datasets import dataset2
+from repro.scan.scanners import (
+    COST_PRESETS,
+    LesterScanner,
+    SnapshotScanner,
+    SQLScanner,
+    TreeWalkScanner,
+    make_scanner,
+    record_from_inode,
+)
+from repro.scan.trace import DirStanza, TraceRecord, read_trace, write_trace
+from repro.scan.walker import ParallelTreeWalker
+
+
+class TestWalker:
+    def test_processes_everything(self):
+        seen = []
+        lock = threading.Lock()
+
+        def expand(n):
+            with lock:
+                seen.append(n)
+            return [n * 2, n * 2 + 1] if n < 8 else []
+
+        stats = ParallelTreeWalker(3).walk([1], expand)
+        assert sorted(seen) == sorted(set(seen))
+        assert stats.items_processed == len(seen)
+        assert 1 in seen and 15 in seen
+
+    def test_completion_times_sorted(self):
+        stats = ParallelTreeWalker(4).walk(range(20), lambda n: [])
+        assert stats.thread_completion_times == sorted(
+            stats.thread_completion_times
+        )
+        assert len(stats.thread_completion_times) == 4
+        assert 0 <= stats.effective_concurrency <= 1
+
+    def test_errors_collected_not_fatal(self):
+        def expand(n):
+            if n == 3:
+                raise ValueError("boom")
+            return []
+
+        stats = ParallelTreeWalker(2).walk(range(6), expand)
+        assert len(stats.errors) == 1
+        assert stats.items_processed == 6
+
+    def test_errors_raised_when_requested(self):
+        with pytest.raises(ValueError):
+            ParallelTreeWalker(2).walk(
+                [1], lambda n: (_ for _ in ()).throw(ValueError("x")),
+                collect_errors=False,
+            )
+
+    def test_empty_roots(self):
+        stats = ParallelTreeWalker(2).walk([], lambda n: [])
+        assert stats.items_processed == 0
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(ValueError):
+            ParallelTreeWalker(0)
+
+    def test_items_per_thread_sums(self):
+        stats = ParallelTreeWalker(3).walk(range(30), lambda n: [])
+        assert sum(stats.items_per_thread.values()) == 30
+
+
+class TestTraceFormat:
+    def make_record(self, **kw) -> TraceRecord:
+        base = dict(
+            path="/a/b", ftype="f", ino=7, mode=0o644, nlink=1, uid=10,
+            gid=20, size=1234, blksize=4096, blocks=3, atime=1, mtime=2,
+            ctime=3, linkname="", xattrs={},
+        )
+        base.update(kw)
+        return TraceRecord(**base)
+
+    def test_encode_decode_roundtrip(self):
+        rec = self.make_record(xattrs={"user.a": b"\x00\xff", "user.b": b"hi"})
+        back = TraceRecord.decode(rec.encode())
+        assert back == rec
+
+    def test_name_and_parent(self):
+        rec = self.make_record(path="/x/y/z.txt")
+        assert rec.name == "z.txt"
+        assert rec.parent == "/x/y"
+        root = self.make_record(path="/", ftype="d")
+        assert root.name == "/"
+
+    def test_symlink_roundtrip(self):
+        rec = self.make_record(ftype="l", linkname="/target/path")
+        assert TraceRecord.decode(rec.encode()).linkname == "/target/path"
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecord.decode("too\x1efew\x1efields")
+
+    def test_stanza_head_must_be_dir(self):
+        with pytest.raises(ValueError):
+            DirStanza(directory=self.make_record(ftype="f"))
+
+    def test_write_read_stream(self):
+        d = self.make_record(path="/d", ftype="d", ino=1)
+        stanza = DirStanza(directory=d, entries=[self.make_record(path="/d/f")])
+        buf = io.StringIO()
+        n = write_trace([stanza], buf)
+        assert n == 2
+        buf.seek(0)
+        (back,) = list(read_trace(buf))
+        assert back.directory.path == "/d"
+        assert back.entries[0].path == "/d/f"
+
+    def test_orphan_entry_rejected(self):
+        buf = io.StringIO(self.make_record(path="/lost").encode() + "\n")
+        with pytest.raises(ValueError):
+            list(read_trace(buf))
+
+
+class TestScanners:
+    @pytest.fixture(scope="class")
+    def ns(self):
+        return dataset2(scale=0.0001, seed=4)
+
+    def test_all_scanners_agree(self, ns):
+        results = {}
+        for kind in ("treewalk", "lester", "sql", "snapshot"):
+            sc = make_scanner(kind, ns.tree, nthreads=2)
+            r = sc.scan("/")
+            results[kind] = {
+                s.directory.path: sorted(e.path for e in s.entries)
+                for s in r.stanzas
+            }
+        base = results["treewalk"]
+        for kind, got in results.items():
+            assert got == base, f"{kind} disagrees with treewalk"
+
+    def test_scan_counts(self, ns):
+        r = TreeWalkScanner(ns.tree, nthreads=2).scan("/")
+        assert r.num_dirs == ns.tree.num_dirs
+        assert r.num_entries == ns.tree.num_files + ns.tree.num_symlinks
+
+    def test_subtree_scan(self, ns):
+        full = LesterScanner(ns.tree).scan("/")
+        area = next(iter(ns.area_roots))
+        sub = LesterScanner(ns.tree).scan(area)
+        assert 0 < sub.num_dirs < full.num_dirs
+        assert all(
+            s.directory.path == area or s.directory.path.startswith(area + "/")
+            for s in sub.stanzas
+        )
+
+    def test_modeled_times_ordering(self, ns):
+        tw = TreeWalkScanner(ns.tree, nthreads=4).scan("/")
+        le = LesterScanner(ns.tree).scan("/")
+        sq = SQLScanner(ns.tree).scan("/")
+        # Table I: inode-table scans are much faster than tree walks;
+        # SQL dumps sit between lester and tree walks per entry.
+        assert le.modeled_time < sq.modeled_time < tw.modeled_time * 10
+        assert le.modeled_time < tw.modeled_time
+
+    def test_treewalk_parallel_speedup_modeled(self, ns):
+        one = TreeWalkScanner(ns.tree, nthreads=1).scan("/")
+        eight = TreeWalkScanner(ns.tree, nthreads=8).scan("/")
+        assert eight.modeled_time < one.modeled_time / 4
+
+    def test_sequential_scanners_ignore_threads(self, ns):
+        r = SQLScanner(ns.tree).scan("/")
+        assert r.nthreads == 1
+        assert not r.cost_model.parallelizable
+
+    def test_snapshot_scanner_consistent_under_mutation(self):
+        t = VFSTree()
+        t.mkdir("/d")
+        for i in range(50):
+            t.create_file(f"/d/f{i}", size=i)
+        sc = SnapshotScanner(t, nthreads=2)
+        r = sc.scan("/")
+        # the live tree is untouched and the scan covers the snapshot
+        assert r.num_entries == 50
+        assert sc.tree is t  # restored after the scan
+        assert r.modeled_time >= SnapshotScanner.SNAPSHOT_COST
+
+    def test_record_from_inode_xattrs(self):
+        t = VFSTree()
+        t.mkdir("/d")
+        t.create_file("/d/f", size=9)
+        t.setxattr("/d/f", "user.k", b"v")
+        rec = record_from_inode("/d/f", t.get_inode("/d/f"))
+        assert rec.xattrs == {"user.k": b"v"}
+        assert rec.size == 9
+
+    def test_cost_presets(self):
+        assert "lester" in COST_PRESETS
+        assert COST_PRESETS["lester"].per_stat < COST_PRESETS["treewalk-nfs"].per_stat
+
+    def test_unknown_scanner_kind(self, ns):
+        with pytest.raises(ValueError):
+            make_scanner("bogus", ns.tree)

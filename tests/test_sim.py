@@ -1,0 +1,176 @@
+"""Unit tests for the device and remote-FS cost models (the Fig 1 /
+Fig 7 substitutions): virtual clock, netfs charging, SSD saturation
+curves, I/O tracing."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.fs.mounts import MountedFS
+from repro.fs.tree import VFSTree
+from repro.sim.blktrace import IOTracer
+from repro.sim.clock import StopwatchRegion, VirtualClock
+from repro.sim.netfs import LUSTRE, NFS, XFS_LOCAL, NetFSCostModel, PRESETS
+from repro.sim.ssd import SSDModel, StorageHost
+
+
+class TestVirtualClock:
+    def test_charge_accumulates(self):
+        c = VirtualClock()
+        c.charge(1.5)
+        c.charge(0.5)
+        assert c.now == pytest.approx(2.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().charge(-1)
+
+    def test_thread_safety(self):
+        c = VirtualClock()
+        def worker():
+            for _ in range(1000):
+                c.charge(0.001)
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.now == pytest.approx(4.0)
+
+    def test_stopwatch(self):
+        c = VirtualClock()
+        c.charge(1.0)
+        with StopwatchRegion(c) as sw:
+            c.charge(2.5)
+        assert sw.elapsed == pytest.approx(2.5)
+
+
+class TestNetFS:
+    def test_presets_registered(self):
+        assert set(PRESETS) >= {"gpfs", "lustre", "nfs", "xfs-local"}
+
+    def test_stat_charging(self):
+        c = VirtualClock()
+        LUSTRE.charge_stat(c, n=100)
+        assert c.now == pytest.approx(100 * LUSTRE.stat)
+
+    def test_readdir_batching(self):
+        c = VirtualClock()
+        NFS.charge_readdir(c, nentries=300)
+        rpcs = -(-300 // NFS.readdir_batch)
+        expected = NFS.opendir + rpcs * NFS.readdir_rpc + 300 * NFS.readdir_per_entry
+        assert c.now == pytest.approx(expected)
+
+    def test_empty_dir_still_one_rpc(self):
+        c = VirtualClock()
+        NFS.charge_readdir(c, nentries=0)
+        assert c.now >= NFS.readdir_rpc
+
+    def test_remote_slower_than_local(self):
+        # the Fig 1 ordering must be baked into the presets
+        assert LUSTRE.stat > NFS.stat > XFS_LOCAL.stat
+
+    def test_mounted_fs_charges(self):
+        t = VFSTree()
+        t.mkdir("/d")
+        t.create_file("/d/f", size=5)
+        m = MountedFS(t, NFS)
+        m.stat("/d/f")
+        m.readdir("/d")
+        assert m.clock.now > 0
+        assert m.name == "nfs"
+
+    def test_custom_model(self):
+        model = NetFSCostModel(
+            name="x", stat=1.0, readdir_rpc=0, readdir_per_entry=0,
+            readdir_batch=1, getxattr=0, opendir=0,
+        )
+        c = VirtualClock()
+        model.charge_stat(c)
+        assert c.now == 1.0
+
+
+class TestSSDModel:
+    def test_linear_then_saturated(self):
+        ssd = SSDModel(max_bw=3.2e9, stream_bw=30e6)
+        assert ssd.throughput(1) == pytest.approx(30e6)
+        assert ssd.throughput(10) == pytest.approx(300e6)
+        assert ssd.throughput(1000) == pytest.approx(3.2e9)
+
+    def test_saturation_qd(self):
+        ssd = SSDModel(max_bw=3.2e9, stream_bw=30e6)
+        assert ssd.saturation_qd == pytest.approx(3.2e9 / 30e6)
+
+    def test_small_read_padding(self):
+        ssd = SSDModel(min_efficient_read=16 * 1024)
+        # 1000 reads of 4 KiB are padded up to 16 KiB each
+        assert ssd.effective_bytes(4_096_000, 1000) == 16_384_000
+        # big reads pass through
+        assert ssd.effective_bytes(10**9, 10) == 10**9
+
+    def test_host_ceiling(self):
+        host = StorageHost(SSDModel(max_bw=3.2e9, stream_bw=30e6),
+                           n_ssds=4, host_max_bw=6e9)
+        assert host.device_ceiling == pytest.approx(12.8e9)
+        # even unbounded concurrency is capped by the host
+        assert host.throughput(10_000) == pytest.approx(6e9)
+        assert host.utilization(10_000) == pytest.approx(6 / 12.8)
+
+    def test_two_ssd_utilization_shape(self):
+        # Fig 7b: two SSDs land in the ~80-95% utilisation band at 224
+        # threads, one SSD saturates at ~112.
+        one = StorageHost(SSDModel(), n_ssds=1, host_max_bw=6e9)
+        two = StorageHost(SSDModel(), n_ssds=2, host_max_bw=6e9)
+        assert one.utilization(112) > 0.95
+        assert 0.75 < two.utilization(224) <= 1.0
+
+    def test_query_time(self):
+        host = StorageHost(SSDModel(max_bw=1e9, stream_bw=1e9,
+                                    min_efficient_read=1), n_ssds=1)
+        assert host.query_time(2e9, 10, queue_depth=1) == pytest.approx(2.0)
+
+    def test_zero_depth(self):
+        host = StorageHost(SSDModel(), n_ssds=1)
+        assert host.throughput(0) == 0.0
+        assert host.query_time(100, 1, 0) == float("inf")
+
+
+class TestIOTracer:
+    def test_record_and_totals(self):
+        tr = IOTracer()
+        tr.record("/a", 100)
+        tr.record("/b", 200)
+        assert tr.total_bytes == 300
+        assert tr.num_reads == 2
+        assert tr.mean_read_size() == pytest.approx(150)
+
+    def test_reset(self):
+        tr = IOTracer()
+        tr.record("/a", 100)
+        tr.reset()
+        assert tr.total_bytes == 0
+
+    def test_bytes_by_thread(self):
+        tr = IOTracer()
+        def w():
+            tr.record("/x", 10)
+        th = threading.Thread(target=w, name="t-A")
+        th.start(); th.join()
+        tr.record("/y", 20)
+        by = tr.bytes_by_thread()
+        assert by["t-A"] == 10
+        assert sum(by.values()) == 30
+
+    def test_concurrency_profile(self):
+        tr = IOTracer()
+        for _ in range(10):
+            tr.record("/x", 1)
+        prof = tr.concurrency_profile(nbuckets=5)
+        assert len(prof) == 5
+        assert max(prof) >= 1
+
+    def test_empty_profile(self):
+        assert IOTracer().concurrency_profile() == []
+        assert IOTracer().mean_read_size() == 0.0
