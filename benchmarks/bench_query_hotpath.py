@@ -1,0 +1,206 @@
+"""Microbenchmark for the persistent-session hot path.
+
+Measures repeated queries two ways on a dataset-2-scaled index:
+
+* **cold** — a fresh :class:`GUFIIndex` handle and a fresh
+  :class:`GUFIQuery` per repetition (empty DirMeta cache, new scratch
+  database, new connections, SQL functions re-registered), which is
+  what every CLI invocation paid before sessions existed;
+* **warm** — one session reused across repetitions, the tentpole's
+  intended mode.
+
+Covered: Q1-Q4 as root, Q1 as an unprivileged user, and two "small"
+queries where fixed setup dominates the work — Q4 (tsummary prunes at
+the root, one directory touched) and Q1 over a deep leaf subtree. The
+target from the issue: >=3x warm-over-cold on the repeated small
+queries and no regression on cold full scans (cold medians are
+recorded in ``BENCH_query_hotpath.json`` so later runs can compare).
+
+Run standalone:  PYTHONPATH=src python benchmarks/bench_query_hotpath.py
+Run via pytest:  pytest benchmarks/bench_query_hotpath.py
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _bench_helpers import DS2_SCALE, NTHREADS, RESULTS_DIR
+
+from repro.core.build import BuildOptions, build_from_stanzas
+from repro.core.index import GUFIIndex
+from repro.core.query import (
+    GUFIQuery,
+    Q1_LIST_NAMES,
+    Q2_DIR_SIZES,
+    Q3_DU_SUMMARIES,
+    Q4_DU_TSUMMARY,
+)
+from repro.core.tsummary import build_tsummary
+from repro.fs.permissions import Credentials
+from repro.gen.datasets import dataset2
+from repro.scan.scanners import TreeWalkScanner
+
+REPS = 7
+
+#: repeated small queries must be at least this much faster warm
+SMALL_QUERY_TARGET = 3.0
+
+
+def _times(fn, reps: int = REPS) -> list[float]:
+    out = []
+    for _ in range(reps):
+        t0 = time.monotonic()
+        fn()
+        out.append(time.monotonic() - t0)
+    return out
+
+
+def _measure_case(index_root, spec, creds, start: str, single: bool) -> dict:
+    """Median cold-vs-warm repetition times for one (query, user).
+
+    ``single`` uses :meth:`GUFIQuery.run_single` — the per-directory
+    API a repeated point query hits; otherwise the parallel walker
+    (whose per-run thread spawn is paid warm and cold alike).
+    """
+
+    def exec_query(q):
+        if single:
+            q.run_single(spec, start)
+        else:
+            q.run(spec, start)
+
+    def cold_once():
+        idx = GUFIIndex.open(index_root)
+        q = GUFIQuery(idx, creds=creds, nthreads=NTHREADS)
+        try:
+            exec_query(q)
+        finally:
+            q.close()
+
+    cold = _times(cold_once)
+
+    idx = GUFIIndex.open(index_root)
+    q = GUFIQuery(idx, creds=creds, nthreads=NTHREADS)
+    try:
+        exec_query(q)  # untimed warm-up populates pool + caches
+        warm = _times(lambda: exec_query(q))
+        cache = dict(idx.cache.stats())
+    finally:
+        q.close()
+
+    cold_med = statistics.median(cold)
+    warm_med = statistics.median(warm)
+    return {
+        "cold_median_s": cold_med,
+        "cold_min_s": min(cold),
+        "warm_median_s": warm_med,
+        "warm_min_s": min(warm),
+        "speedup": cold_med / warm_med if warm_med > 0 else float("inf"),
+        "reps": REPS,
+        "cache": cache,
+    }
+
+
+def build_bench_index(tmp_root: Path):
+    """dataset-2-shaped namespace -> non-rolled index + root tsummary."""
+    ns = dataset2(scale=DS2_SCALE)
+    stanzas = TreeWalkScanner(ns.tree, nthreads=NTHREADS).scan("/").stanzas
+    built = build_from_stanzas(
+        stanzas, tmp_root / "idx", BuildOptions(nthreads=NTHREADS)
+    )
+    build_tsummary(built.index, "/")
+    return ns, built.index
+
+
+def run_hotpath_bench(ns, index) -> dict:
+    root = Credentials(uid=0, gid=0)
+    area, policy = next(iter(sorted(ns.area_roots.items())))
+    user = Credentials(uid=policy.uid, gid=policy.gid)
+    leaf = max(ns.dirs, key=lambda d: (d.count("/"), d))
+
+    cases = {
+        # full scans: every visible directory is attached either way,
+        # so warm wins only the fixed setup — must at least not lose
+        "q1_root_full": (Q1_LIST_NAMES, root, "/", False, False),
+        "q2_root_full": (Q2_DIR_SIZES, root, "/", False, False),
+        "q3_root_full": (Q3_DU_SUMMARIES, root, "/", False, False),
+        "q1_user_full": (Q1_LIST_NAMES, user, "/", False, False),
+        "q4_root_tsummary": (Q4_DU_TSUMMARY, root, "/", False, False),
+        # small queries: fixed setup dominates, sessions must win big
+        "q4_root_single": (Q4_DU_TSUMMARY, root, "/", True, True),
+        "q1_leaf_subtree": (Q1_LIST_NAMES, root, leaf, True, False),
+    }
+
+    results = {}
+    for name, (spec, creds, start, small, single) in cases.items():
+        results[name] = _measure_case(index.root, spec, creds, start, single)
+        results[name]["small_query"] = small
+        print(
+            f"{name:20s} cold {results[name]['cold_median_s'] * 1e3:8.2f}ms"
+            f"  warm {results[name]['warm_median_s'] * 1e3:8.2f}ms"
+            f"  speedup {results[name]['speedup']:6.2f}x"
+        )
+
+    return {
+        "scale": DS2_SCALE,
+        "nthreads": NTHREADS,
+        "namespace": {
+            "dirs": len(ns.dirs),
+            "entries": len(ns.files),
+            "leaf": leaf,
+            "user_uid": user.uid,
+        },
+        "cases": results,
+    }
+
+
+def check_targets(report: dict) -> None:
+    for name, case in report["cases"].items():
+        if case["small_query"]:
+            assert case["speedup"] >= SMALL_QUERY_TARGET, (
+                f"{name}: warm sessions only {case['speedup']:.2f}x faster "
+                f"(target {SMALL_QUERY_TARGET}x)"
+            )
+        else:
+            # warm full scans may not regress past noise: same walk,
+            # minus setup — anything slower means the pool leaks work
+            assert case["warm_median_s"] <= case["cold_median_s"] * 1.25, (
+                f"{name}: warm {case['warm_median_s']:.4f}s vs "
+                f"cold {case['cold_median_s']:.4f}s"
+            )
+
+
+def save_report(report: dict) -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_query_hotpath.json"
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    return out
+
+
+def bench_query_hotpath(tmp_path_factory):
+    """pytest entry point (collected by the bench_* convention)."""
+    ns, index = build_bench_index(tmp_path_factory.mktemp("hotpath"))
+    report = run_hotpath_bench(ns, index)
+    print(f"saved {save_report(report)}")
+    check_targets(report)
+
+
+def main() -> int:
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="gufi_hotpath_") as td:
+        ns, index = build_bench_index(Path(td))
+        report = run_hotpath_bench(ns, index)
+    print(f"saved {save_report(report)}")
+    check_targets(report)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -167,6 +167,31 @@ def table_bytes(
         return db_file_bytes(path)
 
 
+def file_stamp(path: Path | str) -> tuple[int, int, int] | None:
+    """Cache-validation stamp for a database file: (inode, mtime_ns,
+    size). The rebuild path unlinks and recreates ``db.db``, so the
+    inode alone changes even on file systems with coarse timestamps;
+    in-place writers (rollup, tsummary) bump mtime_ns. ``None`` when
+    the file is missing — a missing stamp never validates a cache
+    entry."""
+    try:
+        st = os.stat(path)
+    except OSError:
+        return None
+    return (st.st_ino, st.st_mtime_ns, st.st_size)
+
+
+def dir_stamp(path: Path | str) -> tuple[int, int] | None:
+    """Cache-validation stamp for a directory's child listing:
+    (inode, mtime_ns). Creating or removing a sub-directory updates
+    the parent directory's mtime."""
+    try:
+        st = os.stat(path)
+    except OSError:
+        return None
+    return (st.st_ino, st.st_mtime_ns)
+
+
 def db_file_bytes(path: Path | str) -> int:
     """Size of a database file on disk (what a full-scan query reads).
 

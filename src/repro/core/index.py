@@ -51,6 +51,104 @@ class IndexError_(Exception):
     """Raised for structurally invalid indexes."""
 
 
+class DirMetaCache:
+    """In-memory cache of per-directory :class:`DirMeta` and of child
+    directory listings, shared by every query on one index handle.
+
+    Entries are validated on every lookup against a stat-derived stamp
+    of the backing file ((inode, mtime_ns, size) for ``db.db``,
+    (inode, mtime_ns) for the directory), so out-of-band rewrites are
+    caught by construction: the update path unlinks and recreates the
+    database, changing the inode regardless of timestamp granularity.
+    Writers inside this codebase (update, refresh, rollup/unrollup)
+    additionally call the explicit ``invalidate*`` hooks — the
+    authoritative mechanism, since DirMeta carries the §III-A security
+    metadata (mode/uid/gid/rolledup) and a stale entry would mean a
+    stale permission decision.
+
+    Plain dict operations are atomic under the GIL, so concurrent
+    worker threads need no lock; the hit/miss counters are advisory.
+    """
+
+    def __init__(self) -> None:
+        self._meta: dict[str, tuple[tuple, DirMeta]] = {}
+        self._subdirs: dict[str, tuple[tuple, list[str]]] = {}
+        self.meta_hits = 0
+        self.meta_misses = 0
+        self.subdir_hits = 0
+        self.subdir_misses = 0
+        self.invalidations = 0
+
+    # -- DirMeta -------------------------------------------------------
+    def get_meta(self, source_path: str, db_path: Path | str) -> DirMeta | None:
+        entry = self._meta.get(source_path)
+        if entry is not None:
+            stamp = dbmod.file_stamp(db_path)
+            if stamp is not None and stamp == entry[0]:
+                self.meta_hits += 1
+                return entry[1]
+            self._meta.pop(source_path, None)
+        self.meta_misses += 1
+        return None
+
+    def put_meta(self, source_path: str, stamp: tuple, meta: DirMeta) -> None:
+        self._meta[source_path] = (stamp, meta)
+
+    # -- subdir listings ----------------------------------------------
+    def get_subdirs(self, source_path: str, dir_path: Path | str) -> list[str] | None:
+        entry = self._subdirs.get(source_path)
+        if entry is not None:
+            stamp = dbmod.dir_stamp(dir_path)
+            if stamp is not None and stamp == entry[0]:
+                self.subdir_hits += 1
+                return entry[1]
+            self._subdirs.pop(source_path, None)
+        self.subdir_misses += 1
+        return None
+
+    def put_subdirs(self, source_path: str, stamp: tuple, names: list[str]) -> None:
+        self._subdirs[source_path] = (stamp, names)
+
+    # -- invalidation hooks -------------------------------------------
+    def invalidate(self, source_path: str) -> None:
+        """Drop one directory's cached metadata and child listing."""
+        self._meta.pop(source_path, None)
+        self._subdirs.pop(source_path, None)
+        self.invalidations += 1
+
+    def invalidate_subtree(self, source_path: str) -> None:
+        """Drop everything at or below ``source_path`` (plus the
+        parent's child listing, which may now name different dirs)."""
+        if source_path == "/":
+            self.clear()
+            return
+        prefix = source_path + "/"
+        for table in (self._meta, self._subdirs):
+            for key in [
+                k for k in list(table) if k == source_path or k.startswith(prefix)
+            ]:
+                table.pop(key, None)
+        parent = source_path.rsplit("/", 1)[0] or "/"
+        self._subdirs.pop(parent, None)
+        self.invalidations += 1
+
+    def clear(self) -> None:
+        self._meta.clear()
+        self._subdirs.clear()
+        self.invalidations += 1
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "meta_hits": self.meta_hits,
+            "meta_misses": self.meta_misses,
+            "subdir_hits": self.subdir_hits,
+            "subdir_misses": self.subdir_misses,
+            "invalidations": self.invalidations,
+            "meta_entries": len(self._meta),
+            "subdir_entries": len(self._subdirs),
+        }
+
+
 class GUFIIndex:
     """Handle to an index rooted at a real directory.
 
@@ -61,6 +159,9 @@ class GUFIIndex:
 
     def __init__(self, root: Path | str):
         self.root = Path(root)
+        #: shared DirMeta/subdir-listing cache for every query session
+        #: holding this handle (see :class:`DirMetaCache`)
+        self.cache = DirMetaCache()
 
     # ------------------------------------------------------------------
     # Creation / opening
@@ -174,11 +275,65 @@ class GUFIIndex:
         )
 
     def dir_meta(self, source_path: str) -> DirMeta:
-        conn = dbmod.open_ro(self.db_path(source_path))
+        db_path = self.db_path(source_path)
+        meta = self.cache.get_meta(source_path, db_path)
+        if meta is not None:
+            return meta
+        stamp = dbmod.file_stamp(db_path)
+        conn = dbmod.open_ro(db_path)
         try:
-            return self.read_dir_meta(conn)
+            meta = self.read_dir_meta(conn)
         finally:
             conn.close()
+        if stamp is not None:
+            self.cache.put_meta(source_path, stamp, meta)
+        return meta
+
+    def cached_dir_meta(self, source_path: str) -> DirMeta | None:
+        """Cache-first DirMeta read with the query engine's lenient
+        semantics: ``None`` for a missing or unreadable database
+        instead of an exception (a denied-by-absence answer). The
+        stamp is taken *before* the read, so a write racing the read
+        conservatively invalidates the entry."""
+        db_path = self.db_path(source_path)
+        meta = self.cache.get_meta(source_path, db_path)
+        if meta is not None:
+            return meta
+        stamp = dbmod.file_stamp(db_path)
+        if stamp is None:
+            return None
+        try:
+            conn = dbmod.open_ro(db_path)
+        except Exception:
+            return None
+        try:
+            meta = self.read_dir_meta(conn)
+        except Exception:
+            return None
+        finally:
+            conn.close()
+        self.cache.put_meta(source_path, stamp, meta)
+        return meta
+
+    def invalidate_cache(self, source_path: str | None = None) -> None:
+        """Explicit invalidation hook for writers: one directory, or
+        everything when ``source_path`` is None."""
+        if source_path is None:
+            self.cache.clear()
+        else:
+            self.cache.invalidate(source_path)
+
+    def cached_subdir_names(self, source_path: str) -> list[str]:
+        """:meth:`subdir_names` through the mtime-validated cache."""
+        base = self.index_dir(source_path)
+        names = self.cache.get_subdirs(source_path, base)
+        if names is not None:
+            return names
+        stamp = dbmod.dir_stamp(base)
+        names = self.subdir_names(source_path)
+        if stamp is not None:
+            self.cache.put_subdirs(source_path, stamp, names)
+        return names
 
     def subdir_names(self, source_path: str) -> list[str]:
         """Names of index sub-directories (the physical readdir the

@@ -23,13 +23,22 @@ search (``x``) to pass through, read (``r``) to list/process — so an
 unprivileged query touches only data its credentials could reach on
 the source file system, and its cost is proportional to what it can
 see, not to index size.
+
+Sessions: a ``GUFIQuery`` is a *persistent* handle. Its worker-thread
+connections, registered SQL functions, and scratch directory live in a
+:class:`~repro.core.session.ThreadStatePool` that survives across
+``run()`` calls, and permission metadata comes from the index's
+mtime-validated :class:`~repro.core.index.DirMetaCache` — so repeated
+queries on a warm index skip per-query setup and per-directory summary
+reads. Per-directory accounting (counters, result rows) is kept in the
+per-thread state and merged once after the walk; the hot path takes no
+locks.
 """
 
 from __future__ import annotations
 
 import os
 import sqlite3
-import tempfile
 import threading
 import time
 from dataclasses import dataclass
@@ -46,6 +55,7 @@ from repro.sim.blktrace import IOTracer
 from . import db as dbmod
 from . import schema
 from .index import DirMeta, GUFIIndex
+from .session import ThreadStatePool, _ThreadState
 from .sqlfuncs import QueryContext, register
 from .xattrs import build_xattr_views, drop_xattr_views
 
@@ -95,21 +105,15 @@ class QueryResult:
         return self.rows[0][0]
 
 
-class _ThreadState:
-    """Per-worker-thread connection + context."""
-
-    __slots__ = ("conn", "ctx", "db_path", "out", "out_path")
-
-    def __init__(self, conn: sqlite3.Connection, ctx: QueryContext, db_path: str):
-        self.conn = conn
-        self.ctx = ctx
-        self.db_path = db_path
-        self.out = None  # lazily opened per-thread output file
-        self.out_path: str | None = None
-
-
 class GUFIQuery:
-    """Query executor bound to an index, credentials, and a pool size."""
+    """Query executor bound to an index, credentials, and a pool size.
+
+    The handle is a *session*: scratch connections and output files
+    persist across :meth:`run` calls (see :mod:`repro.core.session`).
+    Call :meth:`close` (or use the handle as a context manager) for
+    deterministic cleanup; otherwise a GC finalizer reclaims the
+    scratch directory.
+    """
 
     def __init__(
         self,
@@ -124,30 +128,37 @@ class GUFIQuery:
         self.creds = creds
         self.nthreads = nthreads
         self.tracer = tracer
-        self.users = users or {}
-        self.groups = groups or {}
+        # keep these exact dict objects: the pool's QueryContexts alias
+        # them, so in-place updates propagate to live sessions
+        self.users = users if users is not None else {}
+        self.groups = groups if groups is not None else {}
+        self.pool = ThreadStatePool(users=self.users, groups=self.groups)
+
+    def close(self) -> None:
+        """Release the session's pooled connections and scratch files."""
+        self.pool.close()
+
+    def __enter__(self) -> "GUFIQuery":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Permission helpers
     # ------------------------------------------------------------------
     def _read_meta(self, source_path: str) -> DirMeta | None:
-        """The descent-time 'stat' of an index directory: a one-row
-        read of its summary record (untraced — the paper's blktrace
-        accounting also excludes dirent/inode reads)."""
-        db_path = self.index.db_path(source_path)
-        if not db_path.exists():
-            return None
-        conn = dbmod.open_ro(db_path)
-        try:
-            return self.index.read_dir_meta(conn)
-        except Exception:
-            return None
-        finally:
-            conn.close()
+        """The descent-time 'stat' of an index directory: its summary
+        record, via the index's validated cache (untraced — the
+        paper's blktrace accounting also excludes dirent/inode
+        reads)."""
+        return self.index.cached_dir_meta(source_path)
 
     def _check_root_reachable(self, start: str) -> None:
         """Every ancestor of the query root must grant search (x) —
-        the kernel's path-walk rule, reproduced for the index."""
+        the kernel's path-walk rule, reproduced for the index. With a
+        warm cache this is one dictionary lookup (plus a validating
+        stat) per ancestor, not one database open per ancestor."""
         parts = [p for p in start.split("/") if p]
         cur = ""
         for part in parts[:-1] if parts else []:
@@ -168,6 +179,7 @@ class GUFIQuery:
         what ``gufi_ls`` of a single directory needs. The same
         permission rules apply: ancestors must be searchable, the
         directory itself readable."""
+        t0 = time.monotonic()
         path = "/" + "/".join(p for p in path.split("/") if p)
         self._check_root_reachable(path)
         meta = self._read_meta(path)
@@ -178,78 +190,72 @@ class GUFIQuery:
         if not can_read_dir(meta.mode, meta.uid, meta.gid, self.creds):
             raise QueryPermissionError(f"permission denied (unreadable): {path!r}")
         index_dir = self.index.index_dir(path)
-        conn = sqlite3.connect(":memory:", uri=True)
+        st = self.pool.acquire(spec.I, None)
         try:
-            ctx = QueryContext(
-                current_path=path,
-                current_depth=0 if path == "/" else path.count("/"),
-                users=self.users,
-                groups=self.groups,
+            st.ctx.current_path = path
+            st.ctx.current_depth = 0 if path == "/" else path.count("/")
+            dbmod.attach_ro(
+                st.conn, index_dir / schema.DB_NAME, "gufi", self.tracer
             )
-            register(conn, ctx)
-            if spec.I:
-                conn.executescript(spec.I)
-            dbmod.attach_ro(conn, index_dir / schema.DB_NAME, "gufi", self.tracer)
             rows: list[tuple] = []
             aliases: list[str] = []
-            if spec.xattrs:
-                aliases = build_xattr_views(
-                    conn, index_dir, self.creds, "gufi", self.tracer
-                )
             try:
-                for sql in (spec.T, spec.S, spec.E):
-                    if sql:
-                        cur = conn.execute(sql)
-                        if cur.description is not None:
-                            rows.extend(cur.fetchall())
-            finally:
                 if spec.xattrs:
-                    drop_xattr_views(conn, aliases)
+                    aliases = build_xattr_views(
+                        st.conn, index_dir, self.creds, "gufi", self.tracer
+                    )
+                try:
+                    for sql in (spec.T, spec.S, spec.E):
+                        if sql:
+                            cur = st.conn.execute(sql)
+                            if cur.description is not None:
+                                rows.extend(cur.fetchall())
+                finally:
+                    if spec.xattrs:
+                        drop_xattr_views(st.conn, aliases)
+            finally:
+                st.conn.commit()
+                dbmod.detach(st.conn, "gufi")
         finally:
-            conn.close()
+            self.pool.release([st])
         return QueryResult(
-            rows=rows, elapsed=0.0, dirs_visited=1, dirs_denied=0, dbs_opened=1
+            rows=rows,
+            elapsed=time.monotonic() - t0,
+            dirs_visited=1,
+            dirs_denied=0,
+            dbs_opened=1,
         )
 
     def run(self, spec: QuerySpec, start: str = "/") -> QueryResult:
+        t0 = time.monotonic()
         start = "/" + "/".join(p for p in start.split("/") if p)
         self._check_root_reachable(start)
         if not self.index.db_path(start).exists():
             raise FileNotFoundError(f"no index directory for {start!r}")
 
-        tmpdir = tempfile.mkdtemp(prefix="gufi_query_")
-        states: dict[int, _ThreadState] = {}
-        states_lock = threading.Lock()
-        counters = {"visited": 0, "denied": 0, "opened": 0, "errored": 0}
-        rows: list[tuple] = []
-        rows_lock = threading.Lock()
+        pool = self.pool
+        index = self.index
+        creds = self.creds
+        # Thread-ident -> checked-out state, for *this* run only (the
+        # walker creates fresh threads per walk). The lock is taken
+        # once per thread per run — at checkout — never per directory.
+        run_states: dict[int, _ThreadState] = {}
+        checkout_lock = threading.Lock()
 
         def thread_state() -> _ThreadState:
             tid = threading.get_ident()
-            with states_lock:
-                st = states.get(tid)
-                if st is None:
-                    db_path = os.path.join(tmpdir, f"thread_{len(states)}.db")
-                    # uri=True so read-only ATTACH URIs are honoured on
-                    # this connection (SQLITE_OPEN_URI is per-connection).
-                    conn = sqlite3.connect(
-                        f"file:{db_path}",
-                        uri=True,
-                        check_same_thread=False,
-                        isolation_level=None,
+            st = run_states.get(tid)
+            if st is None:
+                with checkout_lock:
+                    ordinal = len(run_states)
+                    out_path = (
+                        f"{spec.output_prefix}.{ordinal}"
+                        if spec.output_prefix is not None
+                        else None
                     )
-                    conn.execute("PRAGMA journal_mode = MEMORY")
-                    conn.execute("PRAGMA synchronous = OFF")
-                    ctx = QueryContext(users=self.users, groups=self.groups)
-                    register(conn, ctx)
-                    if spec.I:
-                        conn.executescript(spec.I)
-                    st = _ThreadState(conn, ctx, db_path)
-                    if spec.output_prefix is not None:
-                        st.out_path = f"{spec.output_prefix}.{len(states)}"
-                        st.out = open(st.out_path, "w", encoding="utf-8")
-                    states[tid] = st
-                return st
+                    st = pool.acquire(spec.I, out_path)
+                    run_states[tid] = st
+            return st
 
         def run_sql(st: _ThreadState, sql: str) -> list[tuple]:
             cur = st.conn.execute(sql)
@@ -260,45 +266,72 @@ class GUFIQuery:
         def expand(source_path: str) -> list[str]:
             st = thread_state()
             st.ctx.current_path = source_path
-            st.ctx.current_depth = 0 if source_path == "/" else source_path.count("/")
-            index_dir = self.index.index_dir(source_path)
+            st.ctx.current_depth = (
+                0 if source_path == "/" else source_path.count("/")
+            )
+            index_dir = index.index_dir(source_path)
             db_path = index_dir / schema.DB_NAME
-            if not db_path.exists():
-                return []
-            # One attach serves both the descent-time permission check
-            # (reading the directory's summary record — the 'stat')
-            # and, if allowed, the per-directory queries. The tracer
-            # is charged only for permitted reads: a denied user's
-            # query never pulls the database's pages in the paper's
-            # accounting either, because the kernel refuses the open.
-            try:
-                dbmod.attach_ro(st.conn, db_path, "gufi", tracer=None)
-            except sqlite3.DatabaseError:
-                with rows_lock:
-                    counters["errored"] += 1
-                return []
+            # Descent-time 'stat': the validated cache answers warm
+            # queries with a dictionary lookup; denied directories are
+            # then skipped without ever attaching their database.
+            meta = index.cache.get_meta(source_path, db_path)
+            attached = False
+            if meta is not None:
+                if not can_search_dir(
+                    meta.mode, meta.uid, meta.gid, creds
+                ) or not can_read_dir(meta.mode, meta.uid, meta.gid, creds):
+                    st.denied += 1
+                    return []
             pruned = False
             local_rows: list[tuple] = []
             try:
-                try:
-                    meta = self.index.read_dir_meta(st.conn, "gufi")
-                except sqlite3.DatabaseError:
-                    # A corrupt or truncated shard must not kill the
-                    # whole query: count it and move on (the paper's
-                    # answer to shard damage is the periodic rebuild).
-                    with rows_lock:
-                        counters["errored"] += 1
-                    return []
-                except Exception:
-                    return []
-                # x on the directory: required to pass through; r: to
-                # enumerate its contents (database rows and sub-dirs).
-                if not can_search_dir(
-                    meta.mode, meta.uid, meta.gid, self.creds
-                ) or not can_read_dir(meta.mode, meta.uid, meta.gid, self.creds):
-                    with rows_lock:
-                        counters["denied"] += 1
-                    return []
+                if meta is None:
+                    # Cold path: one attach serves both the permission
+                    # check (reading the summary record) and, if
+                    # allowed, the per-directory queries — then the
+                    # record is published to the cache. The stamp is
+                    # taken before the read so a racing writer
+                    # invalidates conservatively.
+                    stamp = dbmod.file_stamp(db_path)
+                    if stamp is None:
+                        return []
+                    try:
+                        dbmod.attach_ro(st.conn, db_path, "gufi", tracer=None)
+                    except sqlite3.DatabaseError:
+                        st.errored += 1
+                        return []
+                    attached = True
+                    try:
+                        meta = index.read_dir_meta(st.conn, "gufi")
+                    except sqlite3.DatabaseError:
+                        # A corrupt or truncated shard must not kill
+                        # the whole query: count it and move on (the
+                        # paper's answer to shard damage is the
+                        # periodic rebuild).
+                        st.errored += 1
+                        return []
+                    except Exception:
+                        return []
+                    index.cache.put_meta(source_path, stamp, meta)
+                    # x on the directory: required to pass through;
+                    # r: to enumerate its contents.
+                    if not can_search_dir(
+                        meta.mode, meta.uid, meta.gid, creds
+                    ) or not can_read_dir(meta.mode, meta.uid, meta.gid, creds):
+                        st.denied += 1
+                        return []
+                if not attached:
+                    # Warm, permitted path: attach only now that the
+                    # cached record granted access. A denied user's
+                    # query never pulls the database's pages in the
+                    # paper's accounting either, because the kernel
+                    # refuses the open.
+                    try:
+                        dbmod.attach_ro(st.conn, db_path, "gufi", tracer=None)
+                    except sqlite3.DatabaseError:
+                        st.errored += 1
+                        return []
+                    attached = True
                 if self.tracer is not None:
                     # Entry-level queries read the whole database;
                     # summary/tsummary-only queries read just those
@@ -313,9 +346,8 @@ class GUFIQuery:
                             tables.add("tsummary")
                         nbytes = dbmod.table_bytes(st.conn, "gufi", tables)
                     self.tracer.record(str(db_path), nbytes)
-                with rows_lock:
-                    counters["visited"] += 1
-                    counters["opened"] += 1
+                st.visited += 1
+                st.opened += 1
                 if spec.T:
                     (n_ts,) = st.conn.execute(
                         "SELECT COUNT(*) FROM gufi.tsummary"
@@ -328,7 +360,7 @@ class GUFIQuery:
                     aliases: list[str] = []
                     if spec.xattrs:
                         aliases = build_xattr_views(
-                            st.conn, index_dir, self.creds, "gufi", self.tracer
+                            st.conn, index_dir, creds, "gufi", self.tracer
                         )
                     try:
                         if spec.S:
@@ -339,8 +371,9 @@ class GUFIQuery:
                         if spec.xattrs:
                             drop_xattr_views(st.conn, aliases)
             finally:
-                st.conn.commit()
-                dbmod.detach(st.conn, "gufi")
+                if attached:
+                    st.conn.commit()
+                    dbmod.detach(st.conn, "gufi")
             if local_rows:
                 if st.out is not None:
                     for row in local_rows:
@@ -351,27 +384,37 @@ class GUFIQuery:
                             + "\n"
                         )
                 else:
-                    with rows_lock:
-                        rows.extend(local_rows)
+                    st.rows.extend(local_rows)
             # Rolled-up databases already contain their whole subtree:
             # descending would double-count (§III-C3).
             if pruned or meta.rolledup:
                 return []
             prefix = "" if source_path == "/" else source_path
-            return [f"{prefix}/{name}" for name in self.index.subdir_names(source_path)]
+            return [
+                f"{prefix}/{name}"
+                for name in index.cached_subdir_names(source_path)
+            ]
 
-        t0 = time.monotonic()
         walker = ParallelTreeWalker(self.nthreads)
         stats = walker.walk([start], expand)
-        elapsed = time.monotonic() - t0
+
+        states = list(run_states.values())
+        rows: list[tuple] = []
+        for st in states:
+            rows.extend(st.rows)
+        visited = sum(st.visited for st in states)
+        denied = sum(st.denied for st in states)
+        opened = sum(st.opened for st in states)
+        errored = sum(st.errored for st in states)
 
         # ------------------------------------------------------------------
         # Merge phase: J per thread database, then G on the aggregate.
         # ------------------------------------------------------------------
         final_rows = rows
+        agg_path: str | None = None
         try:
             if spec.J or spec.G:
-                agg_path = os.path.join(tmpdir, "aggregate.db")
+                agg_path = pool.aggregate_path()
                 agg = sqlite3.connect(agg_path)
                 try:
                     if spec.I:
@@ -380,13 +423,15 @@ class GUFIQuery:
                 finally:
                     agg.close()
                 if spec.J:
-                    for st in states.values():
+                    for st in states:
                         st.conn.execute(
                             "ATTACH DATABASE ? AS aggregate", (agg_path,)
                         )
-                        st.conn.executescript(spec.J)
-                        st.conn.commit()
-                        st.conn.execute("DETACH DATABASE aggregate")
+                        try:
+                            st.conn.executescript(spec.J)
+                            st.conn.commit()
+                        finally:
+                            st.conn.execute("DETACH DATABASE aggregate")
                 if spec.G:
                     agg = sqlite3.connect(agg_path)
                     try:
@@ -397,13 +442,19 @@ class GUFIQuery:
                     finally:
                         agg.close()
         finally:
+            # Output files flush (and record) even when J/G raised;
+            # states go back to the pool either way.
             output_files = []
-            for st in states.values():
-                st.conn.close()
-                if st.out is not None:
-                    st.out.close()
-                    output_files.append(st.out_path)
-            _cleanup_dir(tmpdir)
+            for st in states:
+                out_path = st.finish_output()
+                if out_path is not None:
+                    output_files.append(out_path)
+            pool.release(states)
+            if agg_path is not None:
+                try:
+                    os.unlink(agg_path)
+                except OSError:
+                    pass
 
         if stats.errors:
             item, exc = stats.errors[0]
@@ -411,26 +462,14 @@ class GUFIQuery:
 
         return QueryResult(
             rows=final_rows,
-            elapsed=elapsed,
-            dirs_visited=counters["visited"],
-            dirs_denied=counters["denied"],
-            dbs_opened=counters["opened"],
-            dirs_errored=counters["errored"],
+            elapsed=time.monotonic() - t0,
+            dirs_visited=visited,
+            dirs_denied=denied,
+            dbs_opened=opened,
+            dirs_errored=errored,
             output_files=sorted(output_files) if output_files else None,
             walk_stats=stats,
         )
-
-
-def _cleanup_dir(path: str) -> None:
-    for name in os.listdir(path):
-        try:
-            os.unlink(os.path.join(path, name))
-        except OSError:
-            pass
-    try:
-        os.rmdir(path)
-    except OSError:
-        pass
 
 
 # ----------------------------------------------------------------------

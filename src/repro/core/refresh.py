@@ -82,6 +82,10 @@ class IndexRefresher:
         self.keep_versions = keep_versions
         self.history: list[RefreshRecord] = []
         self._next_version = self._discover_next_version()
+        # one shared handle per published version, so every query
+        # session against the current index shares one DirMeta cache
+        self._current_handle: GUFIIndex | None = None
+        self._current_target: Path | None = None
 
     def _discover_next_version(self) -> int:
         versions = [
@@ -99,11 +103,20 @@ class IndexRefresher:
         return self.root / CURRENT_LINK
 
     def current(self) -> GUFIIndex:
-        """The published index (what client /search mounts resolve to)."""
+        """The published index (what client /search mounts resolve to).
+
+        Returns one shared handle per published version: every caller
+        then shares the same DirMeta cache, and a refresh atomically
+        retires the handle (new calls get the new version's handle
+        while in-flight queries keep reading the old one)."""
         target = self.current_path
         if not target.exists():
             raise FileNotFoundError("no index published yet")
-        return GUFIIndex.open(target.resolve())
+        resolved = target.resolve()
+        if self._current_handle is None or self._current_target != resolved:
+            self._current_handle = GUFIIndex.open(resolved)
+            self._current_target = resolved
+        return self._current_handle
 
     def versions(self) -> list[Path]:
         """On-disk versions, oldest first."""
@@ -142,6 +155,14 @@ class IndexRefresher:
             tmp_link.unlink()
         os.symlink(dest.name, tmp_link)
         os.replace(tmp_link, self.current_path)
+        # Invalidation hook: drop the retired handle (so the next
+        # current() call opens the new version) and clear its cache —
+        # a session still holding the old handle must revalidate
+        # everything rather than serve pre-swap metadata.
+        if self._current_handle is not None:
+            self._current_handle.cache.clear()
+        self._current_handle = None
+        self._current_target = None
         record = RefreshRecord(
             version=version,
             path=dest,

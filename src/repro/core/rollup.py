@@ -240,6 +240,9 @@ def rollup_dir(index: GUFIIndex, source_path: str, child_names: list[str]) -> in
             (count,),
         )
         conn.commit()
+        # the rolledup flag steers query descent — warm sessions must
+        # see it immediately, not on the next mtime revalidation
+        index.invalidate_cache(source_path)
         return count
     finally:
         conn.close()
@@ -286,6 +289,7 @@ def unrollup_dir(index: GUFIIndex, source_path: str) -> None:
             "WHERE isroot = 1 AND rectype = 0"
         )
         conn.commit()
+        index.invalidate_cache(source_path)
     finally:
         conn.close()
 

@@ -16,13 +16,15 @@ user's largest files and their most recently accessed files").
 
 from __future__ import annotations
 
+import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.fs.permissions import Credentials
 
 from .index import GUFIIndex
-from .query import GUFIQuery, QueryResult, QuerySpec
+from .query import QueryResult, QuerySpec
 from .tools import FindFilters, GUFITools
 
 
@@ -156,7 +158,20 @@ class GUFIServer:
     Every invocation re-authenticates, is checked against the tool
     whitelist, runs with the caller's credentials, and is audited.
     All database opens happen read-only (enforced downstream).
+
+    Query *sessions* are reused: the server keeps a small LRU of warm
+    :class:`GUFITools` handles keyed by the caller's **resolved
+    credentials** — not the username — so repeated portal queries skip
+    per-query setup (scratch connections, SQL function registration,
+    DirMeta reads) while preserving §III-A5's immediacy guarantees:
+    authentication still happens on every invocation, and a group or
+    uid change yields a different key, hence a fresh session with the
+    new credentials. All sessions share the index handle's
+    mtime-validated DirMeta cache.
     """
+
+    #: warm sessions kept per server (one per distinct credential set)
+    SESSION_CACHE_SIZE = 32
 
     def __init__(
         self,
@@ -168,13 +183,44 @@ class GUFIServer:
         self.identity = identity
         self.nthreads = nthreads
         self.audit_log: list[InvocationLog] = []
+        self._sessions: OrderedDict[tuple, GUFITools] = OrderedDict()
+        self._sessions_lock = threading.Lock()
 
     def _tools_for(self, username: str) -> GUFITools:
         creds = self.identity.authenticate(username)
-        return GUFITools(
-            self.index, creds=creds, nthreads=self.nthreads,
-            users=self.identity.uid_map(),
-        )
+        key = (creds.uid, creds.gid, creds.groups)
+        with self._sessions_lock:
+            tools = self._sessions.get(key)
+            if tools is not None:
+                self._sessions.move_to_end(key)
+                # keep name translation current without discarding the
+                # warm session (the pooled QueryContexts alias this
+                # exact dict, so an in-place update reaches them)
+                tools.query.users.clear()
+                tools.query.users.update(self.identity.uid_map())
+                return tools
+            tools = GUFITools(
+                self.index, creds=creds, nthreads=self.nthreads,
+                users=self.identity.uid_map(),
+            )
+            self._sessions[key] = tools
+            while len(self._sessions) > self.SESSION_CACHE_SIZE:
+                _, evicted = self._sessions.popitem(last=False)
+                evicted.close()
+            return tools
+
+    def close(self) -> None:
+        """Dispose every warm session (scratch dirs, connections)."""
+        with self._sessions_lock:
+            for tools in self._sessions.values():
+                tools.close()
+            self._sessions.clear()
+
+    def __enter__(self) -> "GUFIServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def invoke(
         self,
@@ -200,12 +246,7 @@ class GUFIServer:
                 spec = kwargs.pop("spec")
                 if not isinstance(spec, QuerySpec):
                     raise TypeError("query requires a QuerySpec")
-                creds = self.identity.authenticate(username)
-                q = GUFIQuery(
-                    self.index, creds=creds, nthreads=self.nthreads,
-                    users=self.identity.uid_map(),
-                )
-                result: QueryResult = q.run(spec, start)
+                result: QueryResult = tools.query.run(spec, start)
                 ok = True
                 return result
             method = getattr(tools, tool)

@@ -1,0 +1,311 @@
+"""Persistent query sessions: the per-thread state pool.
+
+A cold ``GUFIQuery.run()`` historically paid large fixed costs that
+have nothing to do with the data the caller can see: a fresh scratch
+directory, one new SQLite connection per worker thread, re-registering
+every SQL helper function, re-running the ``I`` init script, and
+tearing it all down again — per query. A long-lived service (the
+``core.server`` portal) issues thousands of queries against the same
+warm index between refreshes, so those costs dominate exactly the
+small repeated queries the paper says should be cheapest.
+
+This module keeps that state alive across queries:
+
+* :class:`_ThreadState` — one worker thread's scratch database
+  connection, registered SQL functions, per-run counters/row buffer,
+  and (optional) streamed-output file;
+* :class:`ThreadStatePool` — a free-list of thread states owned by a
+  :class:`~repro.core.query.GUFIQuery`. Worker threads check states
+  out at the start of a run and the engine returns them at the end,
+  so the *connections* survive even though the walker's *threads* do
+  not. Scratch tables created by an ``I`` script are cleared (same
+  script) or dropped and recreated (script changed) between runs —
+  never the whole connection;
+* :class:`QuerySession` — an explicit-lifecycle facade over
+  ``GUFIQuery`` for callers that want ``with``-scoped cleanup.
+
+Security note: nothing permission-relevant is cached here. Thread
+states hold only *scratch* result tables; every per-directory
+permission decision still reads the index's (mtime-validated,
+explicitly invalidated) DirMeta — see :mod:`repro.core.index`.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import sqlite3
+import tempfile
+import threading
+import weakref
+
+from .sqlfuncs import QueryContext, register
+
+
+class _ThreadState:
+    """Per-worker-thread connection + context + per-run accounting.
+
+    The counters and row buffer are written by exactly one thread
+    during a walk (the thread that checked the state out), so the hot
+    path needs no locks; the engine sums them after the walk ends.
+    """
+
+    __slots__ = (
+        "conn",
+        "ctx",
+        "db_path",
+        "out",
+        "out_path",
+        "rows",
+        "visited",
+        "denied",
+        "opened",
+        "errored",
+        "_init_sql",
+    )
+
+    def __init__(self, conn: sqlite3.Connection, ctx: QueryContext, db_path: str):
+        self.conn = conn
+        self.ctx = ctx
+        self.db_path = db_path
+        self.out = None  # lazily opened per-thread output file
+        self.out_path: str | None = None
+        self.rows: list[tuple] = []
+        self.visited = 0
+        self.denied = 0
+        self.opened = 0
+        self.errored = 0
+        self._init_sql: str | None = None
+
+    # ------------------------------------------------------------------
+    def prepare(self, init_sql: str | None, out_path: str | None) -> None:
+        """Make the state ready for a new run: reset counters, clear or
+        rebuild the scratch schema, and (re)point the output file."""
+        self.rows = []
+        self.visited = self.denied = self.opened = self.errored = 0
+        # A previous run that died mid-directory (or mid-merge) may
+        # have left a database attached; a stale attach would shadow
+        # this run's.
+        for alias in ("gufi", "aggregate"):
+            try:
+                self.conn.execute(f"DETACH DATABASE {alias}")
+            except sqlite3.Error:
+                pass
+        if init_sql != self._init_sql:
+            self._drop_scratch()
+            if init_sql:
+                self.conn.executescript(init_sql)
+            self._init_sql = init_sql
+        elif init_sql:
+            # Same scratch schema as last run: emptying the tables is
+            # much cheaper than dropping and re-running the DDL.
+            for (name,) in self.conn.execute(
+                "SELECT name FROM main.sqlite_master "
+                "WHERE type = 'table' AND name NOT LIKE 'sqlite_%'"
+            ).fetchall():
+                self.conn.execute(f'DELETE FROM "{name}"')
+        self._set_output(out_path)
+
+    def _drop_scratch(self) -> None:
+        objects = self.conn.execute(
+            "SELECT type, name FROM main.sqlite_master "
+            "WHERE name NOT LIKE 'sqlite_%'"
+        ).fetchall()
+        # views may depend on tables; drop them first
+        for typ, name in sorted(objects, key=lambda o: o[0] != "view"):
+            if typ in ("table", "view"):
+                self.conn.execute(f'DROP {typ.upper()} IF EXISTS "{name}"')
+
+    def _set_output(self, out_path: str | None) -> None:
+        if out_path == self.out_path and self.out is not None:
+            # same destination as the previous run: reuse the open
+            # handle, truncating the old contents
+            self.out.seek(0)
+            self.out.truncate()
+            return
+        if self.out is not None:
+            self.out.close()
+            self.out = None
+        self.out_path = out_path
+        if out_path is not None:
+            self.out = open(out_path, "w", encoding="utf-8")
+
+    def finish_output(self) -> str | None:
+        """Flush the streamed-output file at the end of a run so
+        readers see complete contents; the handle stays open for reuse.
+        Returns the path when one was written."""
+        if self.out is None:
+            return None
+        try:
+            self.out.flush()
+        except OSError:
+            pass
+        return self.out_path
+
+    def dispose(self) -> None:
+        try:
+            self.conn.close()
+        except sqlite3.Error:
+            pass
+        if self.out is not None:
+            try:
+                self.out.close()
+            except OSError:
+                pass
+            self.out = None
+
+
+def _dispose_pool(states: list[_ThreadState], tmpdir_box: list[str | None]) -> None:
+    """Finalizer body — module-level so the pool itself can be GC'd."""
+    for st in states:
+        st.dispose()
+    states.clear()
+    if tmpdir_box[0] is not None:
+        shutil.rmtree(tmpdir_box[0], ignore_errors=True)
+        tmpdir_box[0] = None
+
+
+class ThreadStatePool:
+    """Free-list of :class:`_ThreadState` shared across a query's runs.
+
+    Walker threads are created per walk, so states are keyed by
+    *checkout*, not by thread ident: ``acquire`` hands out a prepared
+    state (reusing a parked one when available) and ``release`` parks
+    them again. The pool owns one scratch directory holding every
+    thread database plus per-run aggregate databases.
+    """
+
+    def __init__(
+        self,
+        users: dict[int, str] | None = None,
+        groups: dict[int, str] | None = None,
+    ):
+        self.users = users if users is not None else {}
+        self.groups = groups if groups is not None else {}
+        self._lock = threading.Lock()
+        self._free: list[_ThreadState] = []
+        self._all: list[_ThreadState] = []
+        self._tmpdir_box: list[str | None] = [None]
+        self._seq = 0
+        self._agg_seq = 0
+        self._closed = False
+        #: states ever created / checkouts served from the free list —
+        #: the session layer's effectiveness counters
+        self.created = 0
+        self.reused = 0
+        self._finalizer = weakref.finalize(
+            self, _dispose_pool, self._all, self._tmpdir_box
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def tmpdir(self) -> str:
+        if self._tmpdir_box[0] is None:
+            self._tmpdir_box[0] = tempfile.mkdtemp(prefix="gufi_session_")
+        return self._tmpdir_box[0]
+
+    def acquire(self, init_sql: str | None, out_path: str | None) -> _ThreadState:
+        """Check a prepared state out of the pool (creating one if all
+        are busy)."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("query session is closed")
+            if self._free:
+                st = self._free.pop()
+                self.reused += 1
+            else:
+                st = self._create_locked()
+                self.created += 1
+        st.prepare(init_sql, out_path)
+        return st
+
+    def _create_locked(self) -> _ThreadState:
+        db_path = os.path.join(self.tmpdir, f"thread_{self._seq}.db")
+        self._seq += 1
+        # uri=True so read-only ATTACH URIs are honoured on this
+        # connection (SQLITE_OPEN_URI is per-connection).
+        conn = sqlite3.connect(
+            f"file:{db_path}",
+            uri=True,
+            check_same_thread=False,
+            isolation_level=None,
+        )
+        conn.execute("PRAGMA journal_mode = MEMORY")
+        conn.execute("PRAGMA synchronous = OFF")
+        ctx = QueryContext(users=self.users, groups=self.groups)
+        register(conn, ctx)
+        st = _ThreadState(conn, ctx, db_path)
+        self._all.append(st)
+        return st
+
+    def release(self, states: list[_ThreadState]) -> None:
+        with self._lock:
+            if self._closed:
+                for st in states:
+                    st.dispose()
+            else:
+                self._free.extend(states)
+
+    def aggregate_path(self) -> str:
+        """A fresh path for one run's aggregate database (unique so
+        concurrent runs on the same pool never collide)."""
+        with self._lock:
+            n = self._agg_seq
+            self._agg_seq += 1
+        return os.path.join(self.tmpdir, f"aggregate_{n}.db")
+
+    def close(self) -> None:
+        """Close every pooled connection and remove the scratch
+        directory. Idempotent; checked-out states are disposed on
+        release."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._finalizer()
+
+
+class QuerySession:
+    """Explicit-lifecycle handle for repeated queries on a warm index.
+
+    A :class:`~repro.core.query.GUFIQuery` already keeps its thread
+    pool and the index's DirMeta cache warm between ``run()`` calls;
+    this facade adds ``with``-scoping and surfaces the session-layer
+    counters, for callers (the portal, benchmarks) that manage many
+    sessions and want deterministic cleanup::
+
+        with QuerySession(index, creds=creds) as s:
+            for _ in range(1000):
+                s.run(spec)
+    """
+
+    def __init__(self, index, creds=None, nthreads: int = 8, **kwargs):
+        from .query import GUFIQuery  # here to avoid an import cycle
+
+        if creds is None:
+            self.query = GUFIQuery(index, nthreads=nthreads, **kwargs)
+        else:
+            self.query = GUFIQuery(index, creds=creds, nthreads=nthreads, **kwargs)
+
+    def run(self, spec, start: str = "/"):
+        return self.query.run(spec, start)
+
+    def run_single(self, spec, path: str = "/"):
+        return self.query.run_single(spec, path)
+
+    @property
+    def pool(self) -> ThreadStatePool:
+        return self.query.pool
+
+    @property
+    def cache_stats(self) -> dict[str, int]:
+        return self.query.index.cache.stats()
+
+    def close(self) -> None:
+        self.query.close()
+
+    def __enter__(self) -> "QuerySession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

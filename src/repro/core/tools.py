@@ -65,7 +65,15 @@ class FindFilters:
 
 
 class GUFITools:
-    """One handle bundling the common tools for an (index, user)."""
+    """One handle bundling the common tools for an (index, user).
+
+    The handle is a warm *query session*: the underlying
+    :class:`GUFIQuery` keeps its scratch connections and the index's
+    DirMeta cache alive across calls, so repeated invocations (the
+    portal's canned reports, polling dashboards) skip per-query setup.
+    Call :meth:`close` — or use the handle as a context manager — for
+    deterministic cleanup.
+    """
 
     def __init__(
         self,
@@ -80,6 +88,15 @@ class GUFITools:
             index, creds=creds, nthreads=nthreads, tracer=tracer,
             users=users, groups=groups,
         )
+
+    def close(self) -> None:
+        self.query.close()
+
+    def __enter__(self) -> "GUFITools":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def find(

@@ -102,6 +102,13 @@ def update_directory(
         _remove_dir_dbs(index, d)
         n, _ = build_dir_db(index, stanza, opts)
         total_entries += n
+        # Invalidate before returning so no warm query session can
+        # observe the pre-update mode/uid/gid — the security use case
+        # (user exposed something, chmod'd, asked for an update) must
+        # be honoured by the very next query.
+        index.invalidate_cache(d)
+    if recursive:
+        index.cache.invalidate_subtree(source_path)
     return UpdateResult(
         seconds=time.monotonic() - t0,
         unrolled_dirs=unrolled,

@@ -1,17 +1,29 @@
-"""Parallel breadth-first tree descent (paper §III-C).
+"""Parallel tree descent (paper §III-C).
 
 All of GUFI's tools — scanners, index builders, and the query engine —
-are built on one code base: a thread pool descending a tree in
-breadth-first order, each directory processed by exactly one thread,
-with discovered sub-directories appended to a shared work queue. This
-module is that code base. It is generic over the node type: callers
-supply an ``expand(item) -> iterable of child items`` function, so the
-same pool walks an in-memory VFS, an on-disk index hierarchy, or a
-list of database shards.
+are built on one code base: a thread pool descending a tree, each
+directory processed by exactly one thread, with discovered
+sub-directories handed to the shared work queue. This module is that
+code base. It is generic over the node type: callers supply an
+``expand(item) -> iterable of child items`` function, so the same pool
+walks an in-memory VFS, an on-disk index hierarchy, or a list of
+database shards.
+
+Hot-path accounting is lock-free: every counter a worker touches per
+item (items handled, completion timestamp, errors) lives in a slot
+owned by that worker alone, and the slots are merged once after the
+walk. Children are handed off as *one* batched queue put per expanded
+directory; a worker keeps its current batch local (depth-biased, which
+also bounds queue memory on wide trees) and shares the remainder only
+when the shared queue has run dry and siblings may be idle.
 
 Per-thread completion times are recorded because Fig 8c plots exactly
 that: when each worker finishes its last unit of work, revealing the
-effective concurrency of differently-sharded indexes.
+effective concurrency of differently-sharded indexes. Fig 8c's
+completion times (and ``items_per_thread``) count every item a worker
+*handled* — successes and failures alike, since the thread was busy
+either way — while ``items_processed`` counts only successful
+expansions and ``items_errored`` the failures.
 """
 
 from __future__ import annotations
@@ -30,12 +42,17 @@ T = TypeVar("T")
 class WalkStats:
     """Outcome of one parallel walk."""
 
+    #: items whose expand() completed without raising
     items_processed: int = 0
+    #: items whose expand() raised (recorded in ``errors``); the
+    #: walker's Fig 8c bookkeeping counts processed + errored
+    items_errored: int = 0
     elapsed: float = 0.0
     #: wall-clock offset (from walk start) at which each worker thread
     #: finished its final item; sorted ascending. Fig 8c's y-axis.
     thread_completion_times: list[float] = field(default_factory=list)
-    #: items handled per worker thread, keyed by thread index
+    #: items handled per worker thread (successes + failures), keyed
+    #: by thread index
     items_per_thread: dict[int, int] = field(default_factory=dict)
     #: exceptions raised by expand(), with the offending item
     errors: list[tuple[Any, Exception]] = field(default_factory=list)
@@ -52,7 +69,7 @@ class WalkStats:
 
 
 class ParallelTreeWalker:
-    """A reusable breadth-first work pool.
+    """A reusable work pool over tree-shaped work.
 
     ``nthreads`` matches the paper's ``-n`` flag. The pool is created
     per :meth:`walk` call (walks are long relative to thread start-up,
@@ -74,49 +91,60 @@ class ParallelTreeWalker:
         """Process ``roots`` and everything ``expand`` discovers.
 
         ``expand`` is called once per item from exactly one worker
-        thread; the items it returns are enqueued for any worker.
-        Exceptions from ``expand`` are recorded in the returned stats
-        (or re-raised after the walk if ``collect_errors`` is False)
-        and do not stop other work — matching how a production walker
-        must survive unreadable directories.
+        thread; the items it returns are enqueued (as one batch) for
+        any worker. Exceptions from ``expand`` are recorded in the
+        returned stats (or re-raised after the walk if
+        ``collect_errors`` is False) and do not stop other work —
+        matching how a production walker must survive unreadable
+        directories.
         """
+        # The queue carries *batches* (lists of items): one put per
+        # expanded directory instead of one per child.
         work: queue.Queue = queue.Queue()
-        nroots = 0
-        for r in roots:
-            work.put(r)
-            nroots += 1
+        root_list = list(roots)
         stats = WalkStats()
-        if nroots == 0:
+        if not root_list:
             return stats
+        work.put(root_list)
 
-        lock = threading.Lock()
         start = time.monotonic()
+        # One slot per worker; each worker writes only its own slot,
+        # so no lock is ever taken on the per-item path.
         last_done = [0.0] * self.nthreads
-        per_thread = [0] * self.nthreads
-        first_error: list[Exception] = []
+        handled = [0] * self.nthreads
+        errored = [0] * self.nthreads
+        errors_per_thread: list[list[tuple[Any, Exception]]] = [
+            [] for _ in range(self.nthreads)
+        ]
 
         def worker(tid: int) -> None:
             while True:
-                item = work.get()  # blocks; sentinels wake us to exit
-                if item is _SENTINEL:
+                batch = work.get()  # blocks; sentinels wake us to exit
+                if batch is _SENTINEL:
                     work.task_done()
                     return
                 try:
-                    children = expand(item)
-                    if children:
-                        for child in children:
-                            work.put(child)
-                except Exception as exc:  # noqa: BLE001 - survive bad dirs
-                    with lock:
-                        stats.errors.append((item, exc))
-                        if not first_error:
-                            first_error.append(exc)
+                    while batch:
+                        item = batch.pop()
+                        if batch and work.empty():
+                            # Siblings may be starving: hand the rest
+                            # of the batch off in one put.
+                            work.put(batch)
+                            batch = []
+                        try:
+                            children = expand(item)
+                            kids = list(children) if children else []
+                        except Exception as exc:  # noqa: BLE001 - survive bad dirs
+                            errors_per_thread[tid].append((item, exc))
+                            errored[tid] += 1
+                        else:
+                            handled[tid] += 1
+                            if kids:
+                                batch.extend(kids)
+                        last_done[tid] = time.monotonic() - start
                 finally:
-                    now = time.monotonic() - start
-                    with lock:
-                        per_thread[tid] += 1
-                        last_done[tid] = now
-                        stats.items_processed += 1
+                    # One task_done per get: items kept local are
+                    # covered by their originating batch.
                     work.task_done()
 
         threads = [
@@ -125,17 +153,23 @@ class ParallelTreeWalker:
         ]
         for t in threads:
             t.start()
-        work.join()  # all enqueued items processed
+        work.join()  # all enqueued batches processed
         for _ in threads:
             work.put(_SENTINEL)
         for t in threads:
             t.join()
 
         stats.elapsed = time.monotonic() - start
+        stats.items_processed = sum(handled)
+        stats.items_errored = sum(errored)
         stats.thread_completion_times = sorted(last_done)
-        stats.items_per_thread = {i: n for i, n in enumerate(per_thread)}
-        if not collect_errors and first_error:
-            raise first_error[0]
+        stats.items_per_thread = {
+            i: handled[i] + errored[i] for i in range(self.nthreads)
+        }
+        for errs in errors_per_thread:
+            stats.errors.extend(errs)
+        if not collect_errors and stats.errors:
+            raise stats.errors[0][1]
         return stats
 
 

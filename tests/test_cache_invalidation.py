@@ -1,0 +1,281 @@
+"""Cache-invalidation suite for the DirMeta/subdir-name cache.
+
+The cache holds security metadata (mode/uid/gid/rolledup), so every
+path that rewrites an index directory — incremental update, refresh
+swap, rollup/unrollup — must leave warm query sessions unable to
+observe pre-mutation permissions. These tests drive *warm* sessions
+(caches populated by a prior query) through each mutation and assert
+the very next query honours the new state."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.build import BuildOptions, dir2index
+from repro.core.index import DirMetaCache, GUFIIndex
+from repro.core.query import GUFIQuery, Q1_LIST_PATHS, Q3_DU_SUMMARIES
+from repro.core.refresh import IndexRefresher
+from repro.core.rollup import rollup, unrollup_dir
+from repro.core.update import update_directory
+from repro.fs.permissions import Credentials
+from tests.conftest import ALICE, BOB, NTHREADS, build_demo_tree
+
+
+def paths(result):
+    return sorted(r[0] for r in result.rows)
+
+
+class TestDirMetaCacheUnit:
+    def test_stamp_mismatch_evicts(self, demo_index):
+        meta = demo_index.cached_dir_meta("/home/bob")
+        assert meta is not None
+        assert demo_index.cache.meta_misses == 1
+        assert demo_index.cached_dir_meta("/home/bob") is not None
+        assert demo_index.cache.meta_hits == 1
+        # rewrite db.db (unlink+recreate changes st_ino): must re-read
+        db = demo_index.db_path("/home/bob")
+        payload = db.read_bytes()
+        db.unlink()
+        db.write_bytes(payload)
+        demo_index.cached_dir_meta("/home/bob")
+        assert demo_index.cache.meta_misses == 2
+
+    def test_invalidate_subtree_drops_descendants_only(self, demo_index):
+        for p in ("/home/bob", "/home/bob/secret", "/public"):
+            demo_index.cached_dir_meta(p)
+        demo_index.cache.invalidate_subtree("/home/bob")
+        assert demo_index.cache.invalidations > 0
+        before = demo_index.cache.meta_hits
+        demo_index.cached_dir_meta("/public")  # untouched: still cached
+        assert demo_index.cache.meta_hits == before + 1
+        demo_index.cached_dir_meta("/home/bob/secret")  # dropped: miss
+        assert demo_index.cache.meta_hits == before + 1
+
+    def test_root_subtree_clears_everything(self, demo_index):
+        demo_index.cached_dir_meta("/home/bob")
+        demo_index.cache.invalidate_subtree("/")
+        assert demo_index.cache.stats()["meta_entries"] == 0
+
+    def test_missing_db_not_cached(self, tmp_path):
+        cache = DirMetaCache()
+        assert cache.get_meta("/x", tmp_path / "nope.db") is None
+        assert cache.meta_misses == 1
+
+
+class TestUpdateInvalidation:
+    def test_chmod_then_update_hides_immediately(self, demo_tree, demo_index):
+        """The §III-A3 scenario against a *warm* session: bob's home is
+        world-readable, alice has cached its DirMeta, bob chmods it and
+        requests an update — alice's very next warm query must not see
+        inside."""
+        alice = GUFIQuery(demo_index, creds=ALICE, nthreads=NTHREADS)
+        assert "/home/bob/b.txt" in paths(alice.run(Q1_LIST_PATHS))
+        demo_tree.chmod("/home/bob", 0o700, BOB)
+        update_directory(demo_index, demo_tree, "/home/bob")
+        assert not any(
+            p.startswith("/home/bob/")
+            for p in paths(alice.run(Q1_LIST_PATHS))
+        )
+        alice.close()
+
+    def test_chmod_open_then_update_reveals_immediately(
+        self, demo_tree, demo_index
+    ):
+        alice = GUFIQuery(demo_index, creds=ALICE, nthreads=NTHREADS)
+        assert "/home/bob/secret/s.key" not in paths(alice.run(Q1_LIST_PATHS))
+        demo_tree.chmod("/home/bob/secret", 0o755, BOB)
+        demo_tree.chmod("/home/bob/secret/s.key", 0o644, BOB)
+        update_directory(demo_index, demo_tree, "/home/bob/secret")
+        assert "/home/bob/secret/s.key" in paths(alice.run(Q1_LIST_PATHS))
+        alice.close()
+
+    def test_chown_then_update_honoured(self, demo_tree, demo_index):
+        bob = GUFIQuery(demo_index, creds=BOB, nthreads=NTHREADS)
+        assert not any(
+            p.startswith("/home/alice/") for p in paths(bob.run(Q1_LIST_PATHS))
+        )
+        demo_tree.chown("/home/alice", uid=BOB.uid, gid=BOB.gid)
+        demo_tree.chown("/home/alice/a.txt", uid=BOB.uid, gid=BOB.gid)
+        update_directory(demo_index, demo_tree, "/home/alice")
+        assert "/home/alice/a.txt" in paths(bob.run(Q1_LIST_PATHS))
+        bob.close()
+
+    def test_recursive_update_new_subdir_visible_warm(
+        self, demo_tree, demo_index
+    ):
+        """A warm session has cached /home/bob's subdir listing; a
+        recursive update that creates a brand-new child directory must
+        invalidate that listing so descent finds the newcomer."""
+        q = GUFIQuery(demo_index, nthreads=NTHREADS)
+        q.run(Q1_LIST_PATHS)
+        demo_tree.mkdir("/home/bob/fresh", mode=0o755, uid=1002, gid=1002)
+        demo_tree.create_file("/home/bob/fresh/f.txt", size=5,
+                              mode=0o644, uid=1002, gid=1002)
+        update_directory(demo_index, demo_tree, "/home/bob", recursive=True)
+        assert "/home/bob/fresh/f.txt" in paths(q.run(Q1_LIST_PATHS))
+        q.close()
+
+    def test_recursive_update_removed_subdir_gone_warm(
+        self, demo_tree, demo_index
+    ):
+        q = GUFIQuery(demo_index, creds=BOB, nthreads=NTHREADS)
+        assert "/home/bob/secret/s.key" in paths(q.run(Q1_LIST_PATHS))
+        demo_tree.unlink("/home/bob/secret/s.key")
+        demo_tree.rmdir("/home/bob/secret", BOB)
+        update_directory(demo_index, demo_tree, "/home/bob", recursive=True)
+        assert not any(
+            "secret" in p for p in paths(q.run(Q1_LIST_PATHS))
+        )
+        q.close()
+
+
+class TestRefreshInvalidation:
+    def test_swap_serves_new_data_to_new_sessions(self, tmp_path):
+        tree = build_demo_tree()
+        r = IndexRefresher(
+            tree, tmp_path / "pub",
+            opts=BuildOptions(nthreads=NTHREADS), keep_versions=2,
+        )
+        r.refresh()
+        idx_v0 = r.current()
+        q0 = GUFIQuery(idx_v0, nthreads=NTHREADS)
+        before = paths(q0.run(Q1_LIST_PATHS))
+        tree.create_file("/home/bob/fresh.dat", size=7, uid=1002, gid=1002)
+        r.refresh()
+        # a new session resolves the swapped link: sees the new build
+        q1 = GUFIQuery(r.current(), nthreads=NTHREADS)
+        after = paths(q1.run(Q1_LIST_PATHS))
+        assert "/home/bob/fresh.dat" in after
+        assert "/home/bob/fresh.dat" not in before
+        # the in-flight session keeps answering from the old version
+        # (two coexisting snapshots, §III-A4) — its cache was cleared
+        # at swap time so it revalidates, but the old files still exist
+        assert paths(q0.run(Q1_LIST_PATHS)) == before
+        q0.close()
+        q1.close()
+
+    def test_current_handle_shared_within_a_version(self, tmp_path):
+        tree = build_demo_tree()
+        r = IndexRefresher(
+            tree, tmp_path / "pub", opts=BuildOptions(nthreads=NTHREADS),
+        )
+        r.refresh()
+        assert r.current() is r.current()  # one DirMeta cache per version
+        r.refresh()
+        assert r.current() is not None
+
+
+class TestRollupInvalidation:
+    @pytest.fixture
+    def idx(self, tmp_path):
+        tree = build_demo_tree()
+        return tree, dir2index(
+            tree, tmp_path / "idx", opts=BuildOptions(nthreads=NTHREADS)
+        ).index
+
+    def test_rollup_with_warm_session_no_double_count(self, idx):
+        tree, index = idx
+        q = GUFIQuery(index, nthreads=NTHREADS)
+        cold_paths = paths(q.run(Q1_LIST_PATHS))
+        cold_total = q.run(Q3_DU_SUMMARIES).rows[-1][0]
+        rollup(index, nthreads=NTHREADS)
+        # warm session, post-rollup: same answer, nothing duplicated
+        assert paths(q.run(Q1_LIST_PATHS)) == cold_paths
+        assert q.run(Q3_DU_SUMMARIES).rows[-1][0] == cold_total
+        q.close()
+
+    def test_rolledup_flag_visible_to_warm_session(self, idx):
+        tree, index = idx
+        q = GUFIQuery(index, creds=ALICE, nthreads=NTHREADS)
+        before = paths(q.run(Q1_LIST_PATHS))
+        rollup(index, nthreads=NTHREADS)
+        # the cached rolledup=0 must not survive: descent pruning now
+        # depends on the new flag, and results must stay identical
+        assert index.cached_dir_meta("/home/alice").rolledup > 0
+        assert paths(q.run(Q1_LIST_PATHS)) == before
+        q.close()
+
+    def test_unrollup_with_warm_session(self, idx):
+        tree, index = idx
+        rollup(index, nthreads=NTHREADS)
+        q = GUFIQuery(index, creds=ALICE, nthreads=NTHREADS)
+        rolled = paths(q.run(Q1_LIST_PATHS))
+        assert index.cached_dir_meta("/home/alice").rolledup > 0
+        unrollup_dir(index, "/home/alice")
+        assert index.cached_dir_meta("/home/alice").rolledup == 0
+        assert paths(q.run(Q1_LIST_PATHS)) == rolled
+        q.close()
+
+    def test_update_after_rollup_with_warm_session(self, idx):
+        """update unrolls the target's path; a warm session must see
+        both the new file and the flag flip."""
+        tree, index = idx
+        rollup(index, nthreads=NTHREADS)
+        q = GUFIQuery(index, creds=ALICE, nthreads=NTHREADS)
+        q.run(Q1_LIST_PATHS)
+        tree.create_file("/home/alice/sub/late.dat", size=4,
+                         mode=0o600, uid=1001, gid=1001)
+        update_directory(index, tree, "/home/alice/sub")
+        assert "/home/alice/sub/late.dat" in paths(q.run(Q1_LIST_PATHS))
+        q.close()
+
+
+UIDS = [0, 1001, 1002, 1003]
+DIR_MODES = [0o700, 0o750, 0o755, 0o711, 0o770]
+
+
+class TestWarmEqualsColdProperty:
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[
+            HealthCheck.too_slow,
+            HealthCheck.function_scoped_fixture,
+        ],
+    )
+    @given(
+        uid=st.sampled_from(UIDS),
+        gid=st.sampled_from([0, 100, 1001, 1002, 1003]),
+        in_proj=st.booleans(),
+        mutations=st.lists(
+            st.tuples(
+                st.sampled_from(
+                    ["/home/alice", "/home/bob", "/home/bob/secret",
+                     "/proj/shared", "/public/xonly"]
+                ),
+                st.sampled_from(DIR_MODES),
+            ),
+            min_size=0,
+            max_size=4,
+        ),
+    )
+    def test_warm_result_equals_cold_result(
+        self, tmp_path_factory, uid, gid, in_proj, mutations
+    ):
+        """For random credentials and a random sequence of
+        chmod+update mutations, a warm session's answer after each
+        mutation equals a cold query against a brand-new index handle
+        (empty caches). Any stale mode/uid/gid surviving in the cache
+        breaks this equality."""
+        creds = Credentials(
+            uid=uid, gid=gid,
+            groups=frozenset({100}) if in_proj else frozenset(),
+        )
+        tree = build_demo_tree()
+        root = tmp_path_factory.mktemp("wc")
+        index = dir2index(
+            tree, root / "idx", opts=BuildOptions(nthreads=NTHREADS)
+        ).index
+        warm = GUFIQuery(index, creds=creds, nthreads=NTHREADS)
+        warm.run(Q1_LIST_PATHS)  # populate caches
+        for target, mode in mutations:
+            tree.chmod(target, mode)
+            update_directory(index, tree, target)
+            got = paths(warm.run(Q1_LIST_PATHS))
+            cold_index = GUFIIndex.open(index.root)
+            cold = GUFIQuery(cold_index, creds=creds, nthreads=NTHREADS)
+            assert got == paths(cold.run(Q1_LIST_PATHS))
+            cold.close()
+        warm.close()

@@ -131,5 +131,8 @@ class TestWalkerStress:
             return []
 
         stats = ParallelTreeWalker(3).walk(range(100), expand)
-        assert stats.items_processed == 100
-        assert len(stats.errors) == len([n for n in range(100) if n % 7 == 0])
+        n_bad = len([n for n in range(100) if n % 7 == 0])
+        assert stats.items_processed == 100 - n_bad
+        assert stats.items_errored == n_bad
+        assert sum(stats.items_per_thread.values()) == 100
+        assert len(stats.errors) == n_bad

@@ -1,0 +1,215 @@
+"""Tests for the persistent query session layer: thread-state pool
+reuse, scratch-schema recycling between runs, warm-equals-cold results,
+output-file handling across runs, and server-side session caching."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.query import (
+    GUFIQuery,
+    Q1_LIST_PATHS,
+    Q3_DU_SUMMARIES,
+    QuerySpec,
+)
+from repro.core.server import GUFIServer, IdentityProvider
+from repro.core.session import QuerySession
+from tests.conftest import ALICE, BOB, NTHREADS
+
+
+class TestPoolReuse:
+    def test_connections_survive_across_runs(self, demo_index):
+        q = GUFIQuery(demo_index, nthreads=NTHREADS)
+        first = sorted(q.run(Q1_LIST_PATHS).rows)
+        created_after_first = q.pool.created
+        assert created_after_first >= 1
+        for _ in range(5):
+            assert sorted(q.run(Q1_LIST_PATHS).rows) == first
+        # warm runs check states out of the free list; no new
+        # connections, no new scratch databases
+        assert q.pool.created == created_after_first
+        assert q.pool.reused > 0
+        q.close()
+
+    def test_scratch_tables_recycled_same_spec(self, demo_index):
+        q = GUFIQuery(demo_index, nthreads=NTHREADS)
+        totals = {q.run(Q3_DU_SUMMARIES).rows[-1][0] for _ in range(4)}
+        # stale scratch rows from a previous run would inflate the sum
+        assert len(totals) == 1
+        q.close()
+
+    def test_scratch_schema_swapped_between_different_specs(self, demo_index):
+        q = GUFIQuery(demo_index, nthreads=NTHREADS)
+        a = QuerySpec(
+            I="CREATE TABLE t_a (n INTEGER)",
+            E="INSERT INTO t_a SELECT COUNT(*) FROM pentries",
+            J="INSERT INTO aggregate.t_a SELECT TOTAL(n) FROM t_a",
+            G="SELECT TOTAL(n) FROM t_a",
+        )
+        b = QuerySpec(
+            I="CREATE TABLE t_b (x TEXT)",
+            E="INSERT INTO t_b SELECT name FROM pentries",
+            J="INSERT INTO aggregate.t_b SELECT x FROM t_b",
+            G="SELECT COUNT(*) FROM t_b",
+        )
+        na = q.run(a).rows[-1][0]
+        nb = q.run(b).rows[-1][0]
+        assert na == nb == 9  # all demo entries
+        # and back again: t_b must be gone, t_a recreated fresh
+        assert q.run(a).rows[-1][0] == 9
+        q.close()
+
+    def test_interleaved_i_and_no_i_specs(self, demo_index):
+        q = GUFIQuery(demo_index, nthreads=NTHREADS)
+        with_i = q.run(Q3_DU_SUMMARIES).rows[-1][0]
+        assert q.run(Q1_LIST_PATHS).rows  # no I: scratch dropped
+        assert q.run(Q3_DU_SUMMARIES).rows[-1][0] == with_i
+        q.close()
+
+    def test_close_is_idempotent_and_frees_tmpdir(self, demo_index):
+        q = GUFIQuery(demo_index, nthreads=NTHREADS)
+        q.run(Q1_LIST_PATHS)
+        tmpdir = q.pool.tmpdir
+        assert os.path.isdir(tmpdir)
+        q.close()
+        q.close()
+        assert not os.path.exists(tmpdir)
+
+    def test_run_after_close_raises(self, demo_index):
+        q = GUFIQuery(demo_index, nthreads=NTHREADS)
+        q.run(Q1_LIST_PATHS)
+        q.close()
+        with pytest.raises(RuntimeError):
+            q.run(Q1_LIST_PATHS)
+
+    def test_failed_run_does_not_poison_session(self, demo_index):
+        q = GUFIQuery(demo_index, nthreads=NTHREADS)
+        good = sorted(q.run(Q1_LIST_PATHS).rows)
+        with pytest.raises(RuntimeError):
+            q.run(QuerySpec(E="SELECT nonsense FROM nowhere"))
+        assert sorted(q.run(Q1_LIST_PATHS).rows) == good
+        q.close()
+
+    def test_run_single_reuses_pool_and_times_itself(self, demo_index):
+        q = GUFIQuery(demo_index, nthreads=NTHREADS)
+        spec = QuerySpec(E="SELECT name FROM entries ORDER BY name")
+        r1 = q.run_single(spec, "/home/bob")
+        created = q.pool.created
+        r2 = q.run_single(spec, "/home/bob")
+        assert r1.rows == r2.rows == [("b.txt",)]
+        assert q.pool.created == created
+        # the satellite bugfix: elapsed is measured, not hardcoded 0.0
+        assert r1.elapsed > 0.0 and r2.elapsed > 0.0
+        q.close()
+
+
+class TestOutputFilesAcrossRuns:
+    def test_same_prefix_truncates_between_runs(self, demo_index, tmp_path):
+        spec = QuerySpec(
+            E="SELECT rpath(dname, d_isroot, name) FROM vrpentries",
+            output_prefix=str(tmp_path / "out"),
+        )
+        q = GUFIQuery(demo_index, nthreads=NTHREADS)
+        r1 = q.run(spec)
+        lines1 = sorted(
+            ln for p in r1.output_files for ln in open(p).read().splitlines()
+        )
+        r2 = q.run(spec)
+        lines2 = sorted(
+            ln for p in r2.output_files for ln in open(p).read().splitlines()
+        )
+        # rerun replaces, never appends/duplicates
+        assert lines1 == lines2
+        q.close()
+
+    def test_output_files_recorded_when_merge_stage_fails(
+        self, demo_index, tmp_path
+    ):
+        """Satellite bugfix: the J stage raising must not lose or leave
+        unflushed the per-thread output files."""
+        spec = QuerySpec(
+            E="SELECT name FROM pentries",
+            J="INSERT INTO nonsense_table SELECT 1",
+            output_prefix=str(tmp_path / "o"),
+        )
+        q = GUFIQuery(demo_index, nthreads=NTHREADS)
+        import sqlite3
+
+        with pytest.raises(sqlite3.Error):
+            q.run(spec)
+        files = sorted(
+            str(tmp_path / f)
+            for f in os.listdir(tmp_path)
+            if f.startswith("o.")
+        )
+        assert files  # streamed output exists on disk...
+        total = sum(len(open(f).read().splitlines()) for f in files)
+        assert total == 9  # ...and is complete (flushed) despite the raise
+        q.close()
+
+
+class TestQuerySessionFacade:
+    def test_context_manager_runs_and_cleans_up(self, demo_index):
+        with QuerySession(demo_index, creds=BOB, nthreads=NTHREADS) as s:
+            rows = s.run(Q1_LIST_PATHS).rows
+            assert rows
+            tmpdir = s.pool.tmpdir
+        assert not os.path.exists(tmpdir)
+
+    def test_cache_stats_exposed(self, demo_index):
+        with QuerySession(demo_index, nthreads=NTHREADS) as s:
+            s.run(Q1_LIST_PATHS)
+            s.run(Q1_LIST_PATHS)
+            stats = s.cache_stats
+        assert stats["meta_hits"] > 0
+
+
+def _make_server(index):
+    idp = IdentityProvider()
+    idp.add_user("alice", uid=ALICE.uid, gid=ALICE.gid)
+    idp.add_user("bob", uid=BOB.uid, gid=BOB.gid)
+    return GUFIServer(index, idp, nthreads=NTHREADS)
+
+
+class TestServerSessions:
+    def test_repeat_invocations_reuse_one_session(self, demo_index):
+        with _make_server(demo_index) as server:
+            r1 = server.invoke("bob", "query", "/", spec=Q1_LIST_PATHS)
+            tools = server._sessions[(BOB.uid, BOB.gid, BOB.groups)]
+            created = tools.query.pool.created
+            r2 = server.invoke("bob", "query", "/", spec=Q1_LIST_PATHS)
+            assert sorted(r1.rows) == sorted(r2.rows)
+            assert server._sessions[(BOB.uid, BOB.gid, BOB.groups)] is tools
+            assert tools.query.pool.created == created
+            assert len(server.audit_log) == 2
+
+    def test_disabled_user_blocked_despite_warm_session(self, demo_index):
+        from repro.core.server import AuthenticationError
+
+        with _make_server(demo_index) as server:
+            server.invoke("bob", "query", "/", spec=Q1_LIST_PATHS)
+            server.identity.disable("bob")
+            with pytest.raises(AuthenticationError):
+                server.invoke("bob", "query", "/", spec=Q1_LIST_PATHS)
+
+    def test_group_change_yields_new_session_with_new_access(self, demo_index):
+        with _make_server(demo_index) as server:
+            before = server.invoke("bob", "query", "/", spec=Q1_LIST_PATHS)
+            assert not any("/proj/shared/" in r[0] for r in before.rows)
+            # admin adds bob to the project group: next query must see
+            # the group area even though a warm session existed
+            server.identity.set_groups("bob", frozenset({100}))
+            after = server.invoke("bob", "query", "/", spec=Q1_LIST_PATHS)
+            assert any("/proj/shared/" in r[0] for r in after.rows)
+
+    def test_lru_eviction_closes_sessions(self, demo_index):
+        with _make_server(demo_index) as server:
+            server.SESSION_CACHE_SIZE = 1
+            server.invoke("alice", "query", "/", spec=Q1_LIST_PATHS)
+            alice_tools = server._sessions[(ALICE.uid, ALICE.gid, ALICE.groups)]
+            server.invoke("bob", "query", "/", spec=Q1_LIST_PATHS)
+            assert len(server._sessions) == 1
+            with pytest.raises(RuntimeError):
+                alice_tools.query.run(Q1_LIST_PATHS)

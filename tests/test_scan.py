@@ -54,7 +54,10 @@ class TestWalker:
 
         stats = ParallelTreeWalker(2).walk(range(6), expand)
         assert len(stats.errors) == 1
-        assert stats.items_processed == 6
+        # errored items are counted separately, not as processed
+        assert stats.items_processed == 5
+        assert stats.items_errored == 1
+        assert sum(stats.items_per_thread.values()) == 6
 
     def test_errors_raised_when_requested(self):
         with pytest.raises(ValueError):
