@@ -23,13 +23,15 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.core.build import BuildOptions, trace2index
+from repro.core.build import BuildOptions, BuildResult, trace2index
 from repro.core.index import GUFIIndex
 from repro.core.query import GUFIQuery, QuerySpec
 from repro.core.rollup import rollup, unrollup_dir, visible_db_count
 from repro.core.tools import FindFilters, GUFITools
 from repro.core.tsummary import build_tsummary
 from repro.fs.permissions import Credentials
+from repro.scan.faults import BuildCrash, FaultPlan
+from repro.scan.walker import RetryPolicy
 
 
 def _creds(args: argparse.Namespace) -> Credentials:
@@ -48,16 +50,48 @@ def _add_threads(p: argparse.ArgumentParser) -> None:
                    help="worker threads (the paper's -n flag)")
 
 
-def cmd_trace2index(args: argparse.Namespace) -> int:
-    result = trace2index(
-        args.trace, args.index_root, BuildOptions(nthreads=args.nthreads)
+def _build_opts(args: argparse.Namespace) -> BuildOptions:
+    faults = FaultPlan.parse(args.fault_plan) if args.fault_plan else None
+    return BuildOptions(
+        nthreads=args.nthreads,
+        resume=args.resume,
+        retry=RetryPolicy(retries=args.retries),
+        faults=faults,
     )
+
+
+def _report_build(result: BuildResult) -> int:
+    extra = ""
+    if result.dirs_skipped:
+        extra += f", {result.dirs_skipped} resumed-over"
+    if result.dirs_retried:
+        extra += f", {result.dirs_retried} retries"
     print(
         f"indexed {result.dirs_created} dirs / {result.entries_inserted} "
         f"entries in {result.seconds:.2f}s "
-        f"({result.rows_per_second:.0f} rows/s)"
+        f"({result.rows_per_second:.0f} rows/s){extra}"
     )
+    if result.errors:
+        for path, exc in result.errors:
+            print(f"# failed {path}: {exc}", file=sys.stderr)
+        print(
+            f"# {len(result.errors)} dirs failed; journal kept — "
+            "rerun with --resume to finish",
+            file=sys.stderr,
+        )
+        return 1
     return 0
+
+
+def cmd_trace2index(args: argparse.Namespace) -> int:
+    try:
+        result = trace2index(args.trace, args.index_root, _build_opts(args))
+    except BuildCrash as exc:
+        print(f"# build crashed: {exc}", file=sys.stderr)
+        print("# rerun with --resume to continue from the journal",
+              file=sys.stderr)
+        return 1
+    return _report_build(result)
 
 
 def cmd_demo_index(args: argparse.Namespace) -> int:
@@ -203,6 +237,7 @@ def cmd_experiments(args: argparse.Namespace) -> int:
         "fig10": lambda: _print_fig10(),
         "rollup": lambda: print(harness.rollup_reduction().render()),
         "ingest": lambda: print(harness.ingest_rate().render()),
+        "resilience": lambda: print(harness.build_resilience().render()),
     }
 
     def _print_fig8():
@@ -234,6 +269,13 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("trace2index", help="ingest a trace file into an index")
     p.add_argument("trace")
     p.add_argument("index_root")
+    p.add_argument("--resume", action="store_true",
+                   help="skip directories the build journal proves done")
+    p.add_argument("--fault-plan", default=None,
+                   help="inject faults: 'kind:site:at[xTIMES];...' "
+                        "e.g. 'crash:build_dir_db:12' or 'io:walker.expand:3x2'")
+    p.add_argument("--retries", type=int, default=2,
+                   help="retries per directory on transient errors")
     _add_threads(p)
     p.set_defaults(func=cmd_trace2index)
 
@@ -324,7 +366,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "which",
         choices=["fig1", "table1", "fig7", "fig8", "fig9", "fig10",
-                 "rollup", "ingest", "all"],
+                 "rollup", "ingest", "resilience", "all"],
     )
     p.set_defaults(func=cmd_experiments)
 

@@ -11,24 +11,59 @@ Two paths mirror GUFI's tool pair:
 
 Both funnel into :func:`build_dir_db`, which writes one directory's
 ``entries`` rows, ``summary`` record(s), and xattr shards.
+
+Crash safety and resumability
+-----------------------------
+
+Mid-scan failures are routine on file systems with billions of
+entries, so the build path is structured to survive them:
+
+* **Atomic publish** — :func:`build_dir_db` writes every artifact
+  (``db.db`` and all xattr side databases) under a ``.partial``
+  suffix, then renames side databases first and ``db.db`` last.
+  ``db.db``'s existence is the commit point the query engine keys on,
+  so a crash at any instant leaves either a fully published directory
+  or an invisible one — never a half-indexed directory that queries
+  can observe.
+* **Journal** — each published directory is appended to a
+  :class:`~repro.core.checkpoint.BuildJournal`
+  (``gufi_build.journal`` in the index root). A rerun with
+  ``BuildOptions(resume=True)`` skips every directory whose journal
+  stamp still matches the on-disk database and rebuilds the rest; the
+  journal is deleted when a build completes with zero errors.
+* **Retry, then record** — transient per-directory errors are retried
+  with bounded backoff (:class:`~repro.scan.walker.RetryPolicy`);
+  exhausted items land in ``BuildResult.errors`` as a structured
+  partial-progress report instead of aborting the whole build.
+* **Fault injection** — ``BuildOptions(faults=FaultPlan(...))``
+  threads a deterministic :class:`~repro.scan.faults.FaultPlan`
+  through the walker, :func:`build_dir_db`, and the xattr shard
+  writer, so tests can kill a build at exactly the Nth directory and
+  prove resume correctness.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.fs.tree import VFSTree
+from repro.scan.faults import FaultPlan
 from repro.scan.scanners import record_from_inode
 from repro.scan.trace import DirStanza, TraceRecord, read_trace
-from repro.scan.walker import ParallelTreeWalker
+from repro.scan.walker import FatalWalkError, ParallelTreeWalker, RetryPolicy
 
 from . import db as dbmod
 from . import schema
+from .checkpoint import BuildJournal
 from .index import GUFIIndex
 from .xattrs import shard_xattrs, write_xattr_shards
+
+#: suffix for staged (not yet published) database files
+PARTIAL_SUFFIX = ".partial"
 
 
 @dataclass
@@ -40,6 +75,13 @@ class BuildOptions:
     with_xattrs: bool = True
     #: also write per-user and per-group summary records (rectype 1/2)
     per_user_group_summaries: bool = False
+    #: skip directories already journaled by an interrupted build
+    resume: bool = False
+    #: transient-error policy for per-directory work; None disables
+    #: retries entirely
+    retry: RetryPolicy | None = field(default_factory=RetryPolicy)
+    #: deterministic fault injection (tests, resilience experiments)
+    faults: FaultPlan | None = None
 
 
 @dataclass
@@ -49,6 +91,18 @@ class BuildResult:
     dirs_created: int
     entries_inserted: int
     side_dbs_created: int
+    #: directories skipped because the resume journal proved them done
+    dirs_skipped: int = 0
+    #: retry attempts spent on transient per-directory failures
+    dirs_retried: int = 0
+    #: directories that failed after retries: (source path, exception).
+    #: A non-empty list means the index is partial and the build
+    #: journal was kept for a future ``resume=True`` run.
+    errors: list[tuple[str, Exception]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
 
     @property
     def dirs_per_second(self) -> float:
@@ -70,6 +124,12 @@ def summary_rows(
     aggregates §III-B lists. Optional rectype 1/2 records restrict the
     aggregates to one uid/gid, making per-user/per-group queries a
     single-row read.
+
+    ``name`` identifies what a record describes: the directory's own
+    basename for the overall record (rollup and the rpath machinery
+    key on it), and the principal slice — ``u<uid>`` / ``g<gid>`` —
+    for per-user/per-group records, which describe a credential's view
+    of the directory rather than the directory itself.
     """
     d = stanza.directory
 
@@ -82,8 +142,14 @@ def summary_rows(
         uids = [r.uid for r in rows]
         gids = [r.gid for r in rows]
         totxattr = sum(1 for r in rows if r.xattrs)
+        if rectype == schema.RECTYPE_USER:
+            name = f"u{uid}"
+        elif rectype == schema.RECTYPE_GROUP:
+            name = f"g{gid}"
+        else:
+            name = d.name
         return (
-            d.name if rectype == schema.RECTYPE_OVERALL else d.name,
+            name,
             rectype,
             1,  # isroot
             d.ino,
@@ -168,17 +234,47 @@ def entry_row(rec: TraceRecord) -> tuple:
     )
 
 
+def _sweep_partials(index_dir: Path) -> None:
+    """Remove leftover ``.partial`` staging files in one index
+    directory — residue of a crashed earlier attempt whose shard set
+    may differ from the one just published."""
+    try:
+        with os.scandir(index_dir) as it:
+            stale = [e.name for e in it if e.name.endswith(PARTIAL_SUFFIX)]
+    except OSError:
+        return
+    for name in stale:
+        try:
+            os.unlink(index_dir / name)
+        except OSError:
+            pass
+
+
 def build_dir_db(
-    index: GUFIIndex, stanza: DirStanza, opts: BuildOptions
+    index: GUFIIndex,
+    stanza: DirStanza,
+    opts: BuildOptions,
+    faults: FaultPlan | None = None,
+    journal: BuildJournal | None = None,
 ) -> tuple[int, int]:
     """Create one directory's index database. Returns
-    (entries inserted, side databases created)."""
+    (entries inserted, side databases created).
+
+    All writes are staged under :data:`PARTIAL_SUFFIX` and published
+    by rename — side databases first, ``db.db`` last — so a crash at
+    any point leaves either a complete directory or no visible
+    database at all (queries treat a missing ``db.db`` as
+    denied-by-absence, never as partial data)."""
+    faults = faults if faults is not None else opts.faults
     src_path = stanza.directory.path
+    if faults is not None:
+        faults.fire("build_dir_db", src_path)
     index_dir = index.index_dir(src_path)
     os.makedirs(index_dir, exist_ok=True)
     depth = 0 if src_path == "/" else src_path.count("/")
-    conn = dbmod.create_db(index_dir / schema.DB_NAME)
-    side = 0
+    tmp_db = index_dir / (schema.DB_NAME + PARTIAL_SUFFIX)
+    conn = dbmod.create_db(tmp_db, fresh=True)
+    side_names: list[str] = []
     try:
         conn.execute("BEGIN")
         conn.executemany(
@@ -191,11 +287,27 @@ def build_dir_db(
         conn.execute("COMMIT")
         if opts.with_xattrs:
             shards = shard_xattrs(stanza.directory, stanza.entries)
-            side = write_xattr_shards(index_dir, conn, shards)
+            side_names = write_xattr_shards(
+                index_dir, conn, shards, suffix=PARTIAL_SUFFIX, faults=faults
+            )
     finally:
         conn.close()
+    if faults is not None:
+        faults.fire("build_dir_db.commit", src_path)
+    # Publish: side databases before db.db, which is the commit point.
+    for name in side_names:
+        os.replace(index_dir / (name + PARTIAL_SUFFIX), index_dir / name)
+    os.replace(tmp_db, index_dir / schema.DB_NAME)
+    _sweep_partials(index_dir)
     index.apply_physical_mode(src_path, stanza.directory.mode)
-    return len(stanza.entries), side
+    if journal is not None:
+        journal.record(
+            src_path,
+            dbmod.file_stamp(index.db_path(src_path)),
+            len(stanza.entries),
+            len(side_names),
+        )
+    return len(stanza.entries), len(side_names)
 
 
 def trace2index(
@@ -215,43 +327,97 @@ def trace2index(
     return build_from_stanzas(stanzas, index_root, opts, source_name)
 
 
+class _BuildState:
+    """Shared mutable counters + journal for one build run."""
+
+    def __init__(self, index: GUFIIndex, opts: BuildOptions, source_name: str):
+        self.index = index
+        self.opts = opts
+        self.journal = BuildJournal.open(
+            index.root, resume=opts.resume, source=source_name
+        )
+        self.lock = threading.Lock()
+        self.dirs = 0
+        self.entries = 0
+        self.side = 0
+        self.skipped = 0
+
+    def should_skip(self, source_path: str) -> bool:
+        if not self.opts.resume:
+            return False
+        if not self.journal.is_complete(
+            source_path, self.index.db_path(source_path)
+        ):
+            return False
+        with self.lock:
+            self.skipped += 1
+        return True
+
+    def build(self, stanza: DirStanza) -> None:
+        n, s = build_dir_db(
+            self.index, stanza, self.opts,
+            faults=self.opts.faults, journal=self.journal,
+        )
+        with self.lock:
+            self.dirs += 1
+            self.entries += n
+            self.side += s
+
+    def finish(
+        self, stats, elapsed: float, errors: list[tuple[str, Exception]]
+    ) -> BuildResult:
+        # A clean, complete build needs no resume marker; anything
+        # partial keeps the journal for the next resume=True run.
+        if errors:
+            self.journal.close()
+        else:
+            self.journal.finalize()
+        return BuildResult(
+            index=self.index,
+            seconds=elapsed,
+            dirs_created=self.dirs,
+            entries_inserted=self.entries,
+            side_dbs_created=self.side,
+            dirs_skipped=self.skipped,
+            dirs_retried=stats.items_retried,
+            errors=errors,
+        )
+
+
 def build_from_stanzas(
     stanzas: list[DirStanza],
     index_root: Path | str,
     opts: BuildOptions | None = None,
     source_name: str = "",
 ) -> BuildResult:
-    """Build an index from in-memory stanzas (the in-situ fast path)."""
+    """Build an index from in-memory stanzas (the in-situ fast path).
+
+    Per-directory failures are retried under ``opts.retry`` and then
+    reported in ``BuildResult.errors`` — partial progress survives and
+    the journal stays on disk so ``resume=True`` can finish the job.
+    A :class:`~repro.scan.faults.BuildCrash` (simulated process death)
+    propagates after the journal is flushed and closed."""
     opts = opts or BuildOptions()
     index = GUFIIndex.create(index_root, source_name)
-    counters = {"entries": 0, "side": 0}
-    import threading
-
-    lock = threading.Lock()
+    state = _BuildState(index, opts, source_name)
 
     def expand(stanza: DirStanza) -> list:
-        n, s = build_dir_db(index, stanza, opts)
-        with lock:
-            counters["entries"] += n
-            counters["side"] += s
+        if not state.should_skip(stanza.directory.path):
+            state.build(stanza)
         return []
 
     t0 = time.monotonic()
     walker = ParallelTreeWalker(opts.nthreads)
-    stats = walker.walk(stanzas, expand)
+    try:
+        stats = walker.walk(
+            stanzas, expand, retry=opts.retry, faults=opts.faults
+        )
+    except FatalWalkError:
+        state.journal.close()
+        raise
     elapsed = time.monotonic() - t0
-    if stats.errors:
-        item, exc = stats.errors[0]
-        raise RuntimeError(
-            f"index build failed for {item.directory.path!r}: {exc}"
-        ) from exc
-    return BuildResult(
-        index=index,
-        seconds=elapsed,
-        dirs_created=len(stanzas),
-        entries_inserted=counters["entries"],
-        side_dbs_created=counters["side"],
-    )
+    errors = [(item.directory.path, exc) for item, exc in stats.errors]
+    return state.finish(stats, elapsed, errors)
 
 
 def dir2index(
@@ -263,44 +429,46 @@ def dir2index(
 ) -> BuildResult:
     """Scan a source tree and build its index in one pass
     (``gufi_dir2index``): each directory's database is written by the
-    same thread that scanned it, skipping the trace stage entirely."""
+    same thread that scanned it, skipping the trace stage entirely.
+
+    With ``opts.resume`` the scan still descends every directory (the
+    children of a finished directory may not be finished) but skips
+    rebuilding databases the journal proves complete."""
     opts = opts or BuildOptions()
     index = GUFIIndex.create(index_root, source_name)
-    counters = {"dirs": 0, "entries": 0, "side": 0}
+    state = _BuildState(index, opts, source_name)
     import posixpath
-    import threading
-
-    lock = threading.Lock()
 
     def expand(dirpath: str) -> list[str]:
         dir_inode = tree.get_inode(dirpath)
         entries = tree.readdir(dirpath)
+        subdirs = [
+            posixpath.join(dirpath, e.name)
+            for e in entries
+            if e.ftype.value == "d"
+        ]
+        if state.should_skip(dirpath):
+            return subdirs
         stanza = DirStanza(directory=record_from_inode(dirpath, dir_inode))
-        subdirs = []
         for e in entries:
-            child = posixpath.join(dirpath, e.name)
-            if e.ftype.value == "d":
-                subdirs.append(child)
-            else:
-                stanza.entries.append(record_from_inode(child, tree.get_inode(child)))
-        n, s = build_dir_db(index, stanza, opts)
-        with lock:
-            counters["dirs"] += 1
-            counters["entries"] += n
-            counters["side"] += s
+            if e.ftype.value != "d":
+                child = posixpath.join(dirpath, e.name)
+                stanza.entries.append(
+                    record_from_inode(child, tree.get_inode(child))
+                )
+        state.build(stanza)
         return subdirs
 
     t0 = time.monotonic()
     walker = ParallelTreeWalker(opts.nthreads)
-    stats = walker.walk([posixpath.normpath(top)], expand)
+    try:
+        stats = walker.walk(
+            [posixpath.normpath(top)], expand,
+            retry=opts.retry, faults=opts.faults,
+        )
+    except FatalWalkError:
+        state.journal.close()
+        raise
     elapsed = time.monotonic() - t0
-    if stats.errors:
-        item, exc = stats.errors[0]
-        raise RuntimeError(f"index build failed for {item!r}: {exc}") from exc
-    return BuildResult(
-        index=index,
-        seconds=elapsed,
-        dirs_created=counters["dirs"],
-        entries_inserted=counters["entries"],
-        side_dbs_created=counters["side"],
-    )
+    errors = [(str(item), exc) for item, exc in stats.errors]
+    return state.finish(stats, elapsed, errors)

@@ -94,11 +94,15 @@ def create_db(path: Path | str, fresh: bool = False) -> sqlite3.Connection:
     return _connect_rw(p)
 
 
-def create_side_db(path: Path | str) -> sqlite3.Connection:
+def create_side_db(path: Path | str, fresh: bool = False) -> sqlite3.Connection:
     """Create a per-user/per-group xattr side database (only the
-    ``xattrs`` table lives in side databases)."""
+    ``xattrs`` table lives in side databases).
+
+    ``fresh=True`` overwrites whatever is at ``path`` — the staged
+    (``.partial``) writes of the crash-safe build path must not append
+    to a leftover from an interrupted earlier attempt."""
     p = str(path)
-    if not os.path.exists(p):
+    if fresh or not os.path.exists(p):
         with open(p, "wb") as fh:
             fh.write(_template("side"))
     return _connect_rw(p)

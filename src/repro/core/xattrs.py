@@ -121,18 +121,33 @@ def shard_xattrs(dir_rec: TraceRecord, entries: list[TraceRecord]) -> XattrShard
 
 
 def write_xattr_shards(
-    index_dir: Path, conn_main: sqlite3.Connection, shards: XattrShards
-) -> int:
+    index_dir: Path,
+    conn_main: sqlite3.Connection,
+    shards: XattrShards,
+    suffix: str = "",
+    faults=None,
+) -> list[str]:
     """Write shard buckets: main rows into the open primary database,
     side buckets into newly created side database files, and the
-    tracking rows into ``xattrs_avail``. Returns side databases
-    created."""
+    tracking rows into ``xattrs_avail``. Returns the side database
+    *final* names created.
+
+    ``suffix`` stages each side database at ``name + suffix`` while
+    the tracking rows record the final ``name`` — the crash-safe build
+    path writes every artifact under a temp suffix and renames only
+    once the whole directory succeeded, so a failure mid-shard can
+    never leave a published primary database whose tracking table
+    names shards that were not written. ``faults`` is an optional
+    :class:`~repro.scan.faults.FaultPlan` fired per bucket (site
+    ``"xattr_shards"``, key = final name) so tests can fail the write
+    mid-way deterministically.
+    """
     if shards.main_rows:
         conn_main.executemany(
             "INSERT INTO xattrs (exinode, exattrs) VALUES (?, ?)",
             shards.main_rows,
         )
-    created = 0
+    created: list[str] = []
     buckets: list[tuple[str, int, list[tuple[int, str]]]] = []
     for uid, rows in shards.per_user.items():
         buckets.append(("user", uid, rows))
@@ -142,7 +157,9 @@ def write_xattr_shards(
         buckets.append(("group_nr", gid, rows))
     for kind, ident, rows in buckets:
         name = side_db_name(kind, ident)
-        side = dbmod.create_side_db(index_dir / name)
+        if faults is not None:
+            faults.fire("xattr_shards", name)
+        side = dbmod.create_side_db(index_dir / (name + suffix), fresh=bool(suffix))
         try:
             side.execute("BEGIN")
             side.executemany(
@@ -157,7 +174,7 @@ def write_xattr_shards(
             "VALUES (?,?,?,?,1)",
             (name, uid, gid, mode),
         )
-        created += 1
+        created.append(name)
     return created
 
 

@@ -32,6 +32,8 @@ def snapshot(tree: VFSTree) -> VFSTree:
         clone._nfiles = tree._nfiles
         clone._ndirs = tree._ndirs
         clone._nsymlinks = tree._nsymlinks
+        # fault plans target the *live* source, not its frozen image
+        clone._faults = None
         clone._root = _clone_node(tree._root, None)
         return clone
 

@@ -90,6 +90,16 @@ class VFSTree:
         self._nfiles = 0
         self._ndirs = 1
         self._nsymlinks = 0
+        #: optional FaultPlan-shaped object (see repro.scan.faults)
+        #: firing "vfs.readdir"/"vfs.get_inode" — lets tests make
+        #: source-tree reads fail deterministically, like a flaky NFS
+        self._faults = None
+
+    def set_fault_plan(self, plan) -> None:
+        """Attach a deterministic fault plan to this tree's read
+        operations (``None`` detaches). Duck-typed: anything with
+        ``fire(site, key)`` works."""
+        self._faults = plan
 
     # ------------------------------------------------------------------
     # Counters / time
@@ -423,6 +433,8 @@ class VFSTree:
 
     def readdir(self, path: str, creds: Credentials = ROOT) -> list[DirEntry]:
         """``readdir``: requires the directory's read bit."""
+        if self._faults is not None:
+            self._faults.fire("vfs.readdir", path)
         with self._lock:
             node = self._resolve(path, creds, follow=True)
             inode = node.inode
@@ -566,6 +578,8 @@ class VFSTree:
 
     def get_inode(self, path: str, creds: Credentials = ROOT) -> Inode:
         """Privileged direct inode access (scanners, snapshot tooling)."""
+        if self._faults is not None:
+            self._faults.fire("vfs.get_inode", path)
         with self._lock:
             return self._resolve(path, creds, follow=False).inode
 

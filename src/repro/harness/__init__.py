@@ -3,6 +3,7 @@ and result-table rendering."""
 
 from .experiments import (
     DEFAULT_THREADS,
+    build_resilience,
     fig1,
     fig7,
     fig8,
@@ -21,6 +22,7 @@ __all__ = [
     "DEFAULT_THREADS",
     "ResultTable",
     "ascii_chart",
+    "build_resilience",
     "fig1",
     "fig10",
     "fig7",

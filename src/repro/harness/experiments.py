@@ -706,3 +706,91 @@ def ingest_rate(
         return table
     finally:
         shutil.rmtree(tmp, ignore_errors=True)
+
+
+# ======================================================================
+# Build resilience — crash-safe, resumable index construction
+# ======================================================================
+
+def build_resilience(
+    scale: float = 0.0003,
+    nthreads: int = DEFAULT_THREADS,
+    fractions: tuple[float, ...] = (0.25, 0.5, 0.75),
+) -> ResultTable:
+    """Kill an index build at several points, resume it, and verify
+    the resumed index answers queries identically to an uninterrupted
+    build (§III-A3's restartable-scan requirement, exercised through
+    the deterministic fault-injection layer).
+
+    For each kill fraction the driver: (1) builds with a
+    :class:`~repro.scan.faults.FaultPlan` that crashes the process at
+    the Nth directory, (2) reruns with ``resume=True``, (3) compares
+    the full-tree path listing against the baseline, and (4) checks no
+    ``.partial`` staging files survived.
+    """
+    import os
+
+    from repro.core.build import PARTIAL_SUFFIX
+    from repro.core.query import Q1_LIST_PATHS
+    from repro.scan.faults import BuildCrash, FaultPlan
+
+    ns = datasets.dataset2(scale=scale, seed=9)
+    stanzas = make_scanner("treewalk", ns.tree, nthreads=nthreads).scan("/").stanzas
+    base = tempfile.mkdtemp(prefix="resilience_")
+
+    def query_rows(index) -> list:
+        return sorted(GUFIQuery(index, nthreads=nthreads).run(Q1_LIST_PATHS).rows)
+
+    def partials_left(root: str) -> int:
+        return sum(
+            1
+            for dirpath, _, files in os.walk(root)
+            for f in files
+            if f.endswith(PARTIAL_SUFFIX)
+        )
+
+    try:
+        baseline = build_from_stanzas(
+            stanzas, f"{base}/full", BuildOptions(nthreads=nthreads)
+        )
+        want = query_rows(baseline.index)
+        table = ResultTable(
+            title="Build resilience: crash + resume vs uninterrupted build",
+            columns=[
+                "killed at", "dirs entered", "resume skipped",
+                "resume rebuilt", "identical", "partials left",
+            ],
+        )
+        for frac in fractions:
+            kill_at = max(1, int(len(stanzas) * frac))
+            root = f"{base}/kill{int(frac * 100)}"
+            plan = FaultPlan.crash_at("build_dir_db", kill_at)
+            try:
+                build_from_stanzas(
+                    stanzas, root,
+                    BuildOptions(nthreads=nthreads, faults=plan),
+                )
+                crashed = False
+            except BuildCrash:
+                crashed = True
+            resumed = build_from_stanzas(
+                stanzas, root,
+                BuildOptions(nthreads=nthreads, resume=True),
+            )
+            rows = query_rows(resumed.index)
+            table.add(
+                f"{frac:.0%} ({kill_at}/{len(stanzas)} dirs)" if crashed
+                else f"{frac:.0%} (no crash?)",
+                kill_at,
+                resumed.dirs_skipped,
+                resumed.dirs_created,
+                rows == want,
+                partials_left(root),
+            )
+        table.note(
+            "crash = injected BuildCrash at the Nth build_dir_db entry; "
+            "identical compares sorted full-tree rpath listings"
+        )
+        return table
+    finally:
+        shutil.rmtree(base, ignore_errors=True)

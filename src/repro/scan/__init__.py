@@ -27,11 +27,19 @@ from .trace import (
     split_trace,
     write_trace,
 )
-from .walker import ParallelTreeWalker, WalkStats
+from .faults import BuildCrash, Fault, FaultPlan, FiredFault, InjectedFault
+from .walker import FatalWalkError, ParallelTreeWalker, RetryPolicy, WalkStats
 
 __all__ = [
     "split_trace",
     "merge_traces",
+    "BuildCrash",
+    "FatalWalkError",
+    "Fault",
+    "FaultPlan",
+    "FiredFault",
+    "InjectedFault",
+    "RetryPolicy",
     "COST_PRESETS",
     "DirStanza",
     "FIELD_SEP",

@@ -17,6 +17,19 @@ directory; a worker keeps its current batch local (depth-biased, which
 also bounds queue memory on wide trees) and shares the remainder only
 when the shared queue has run dry and siblings may be idle.
 
+Failure handling has three tiers, matching what a production walker
+meets on a billion-entry file system:
+
+* transient errors (an NFS directory read timing out) are retried in
+  place with bounded backoff when the caller supplies a
+  :class:`RetryPolicy` — the item never leaves its worker;
+* permanent errors are recorded in ``WalkStats.errors`` and do not
+  stop other work (an unreadable directory must not kill a scan);
+* :class:`FatalWalkError` (e.g. an injected
+  :class:`~repro.scan.faults.BuildCrash`) aborts the whole walk:
+  workers drain the queue without processing and the exception
+  propagates, simulating process death for crash-safety tests.
+
 Per-thread completion times are recorded because Fig 8c plots exactly
 that: when each worker finishes its last unit of work, revealing the
 effective concurrency of differently-sharded indexes. Fig 8c's
@@ -38,6 +51,41 @@ from typing import Any, TypeVar
 T = TypeVar("T")
 
 
+class FatalWalkError(Exception):
+    """An error that must abort the entire walk (simulated process
+    death, resource exhaustion). Never retried, never recorded as a
+    per-item error: it propagates out of :meth:`ParallelTreeWalker.walk`
+    after the pool shuts down."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff for transient per-item failures.
+
+    ``sleep`` is injectable so tests (and cost-model experiments) can
+    charge a :class:`~repro.sim.clock.VirtualClock` instead of
+    sleeping: ``RetryPolicy(sleep=clock.charge)``.
+    """
+
+    #: additional attempts after the first failure
+    retries: int = 2
+    #: seconds before the first retry
+    backoff: float = 0.005
+    multiplier: float = 2.0
+    max_backoff: float = 0.25
+    #: exception types considered transient; everything else is
+    #: recorded immediately
+    retry_on: tuple[type[BaseException], ...] = (OSError,)
+    sleep: Callable[[float], Any] = time.sleep
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (0-based), capped."""
+        return min(self.max_backoff, self.backoff * self.multiplier**attempt)
+
+    def should_retry(self, exc: BaseException, attempt: int) -> bool:
+        return attempt < self.retries and isinstance(exc, self.retry_on)
+
+
 @dataclass
 class WalkStats:
     """Outcome of one parallel walk."""
@@ -47,6 +95,9 @@ class WalkStats:
     #: items whose expand() raised (recorded in ``errors``); the
     #: walker's Fig 8c bookkeeping counts processed + errored
     items_errored: int = 0
+    #: retry attempts performed under the :class:`RetryPolicy` (an item
+    #: that failed twice then succeeded contributes 2)
+    items_retried: int = 0
     elapsed: float = 0.0
     #: wall-clock offset (from walk start) at which each worker thread
     #: finished its final item; sorted ascending. Fig 8c's y-axis.
@@ -87,16 +138,25 @@ class ParallelTreeWalker:
         expand: Callable[[T], Iterable[T]],
         *,
         collect_errors: bool = True,
+        retry: RetryPolicy | None = None,
+        faults: Any | None = None,
     ) -> WalkStats:
         """Process ``roots`` and everything ``expand`` discovers.
 
         ``expand`` is called once per item from exactly one worker
         thread; the items it returns are enqueued (as one batch) for
-        any worker. Exceptions from ``expand`` are recorded in the
-        returned stats (or re-raised after the walk if
-        ``collect_errors`` is False) and do not stop other work —
-        matching how a production walker must survive unreadable
-        directories.
+        any worker. Exceptions from ``expand`` are retried per
+        ``retry`` (when transient), then recorded in the returned stats
+        (or re-raised after the walk if ``collect_errors`` is False);
+        they do not stop other work — matching how a production walker
+        must survive unreadable directories. :class:`FatalWalkError`
+        aborts the walk and is re-raised.
+
+        ``faults`` is an optional
+        :class:`~repro.scan.faults.FaultPlan`-shaped object whose
+        ``fire("walker.expand", item)`` runs before each expansion
+        (inside the retry loop, so transient injected faults exercise
+        the backoff path).
         """
         # The queue carries *batches* (lists of items): one put per
         # expanded directory instead of one per child.
@@ -113,9 +173,36 @@ class ParallelTreeWalker:
         last_done = [0.0] * self.nthreads
         handled = [0] * self.nthreads
         errored = [0] * self.nthreads
+        retried = [0] * self.nthreads
         errors_per_thread: list[list[tuple[Any, Exception]]] = [
             [] for _ in range(self.nthreads)
         ]
+        fatal: list[FatalWalkError | None] = [None] * self.nthreads
+        abort = threading.Event()
+
+        def attempt_expand(tid: int, item: T) -> list[T] | None:
+            """One item through the retry loop. Returns children on
+            success, None when the item failed permanently (recorded)."""
+            attempt = 0
+            while True:
+                try:
+                    if faults is not None:
+                        faults.fire("walker.expand", item)
+                    children = expand(item)
+                    return list(children) if children else []
+                except FatalWalkError as exc:
+                    fatal[tid] = exc
+                    abort.set()
+                    return None
+                except Exception as exc:  # noqa: BLE001 - survive bad dirs
+                    if retry is not None and retry.should_retry(exc, attempt):
+                        retried[tid] += 1
+                        retry.sleep(retry.delay(attempt))
+                        attempt += 1
+                        continue
+                    errors_per_thread[tid].append((item, exc))
+                    errored[tid] += 1
+                    return None
 
         def worker(tid: int) -> None:
             while True:
@@ -125,18 +212,21 @@ class ParallelTreeWalker:
                     return
                 try:
                     while batch:
+                        if abort.is_set():
+                            # Simulated process death: drop remaining
+                            # work so the queue drains and the fatal
+                            # error can propagate.
+                            break
                         item = batch.pop()
                         if batch and work.empty():
                             # Siblings may be starving: hand the rest
                             # of the batch off in one put.
                             work.put(batch)
                             batch = []
-                        try:
-                            children = expand(item)
-                            kids = list(children) if children else []
-                        except Exception as exc:  # noqa: BLE001 - survive bad dirs
-                            errors_per_thread[tid].append((item, exc))
-                            errored[tid] += 1
+                        kids = attempt_expand(tid, item)
+                        if kids is None:
+                            if fatal[tid] is not None:
+                                break
                         else:
                             handled[tid] += 1
                             if kids:
@@ -153,15 +243,20 @@ class ParallelTreeWalker:
         ]
         for t in threads:
             t.start()
-        work.join()  # all enqueued batches processed
+        work.join()  # all enqueued batches processed (or dropped on abort)
         for _ in threads:
             work.put(_SENTINEL)
         for t in threads:
             t.join()
 
+        fatal_exc = next((f for f in fatal if f is not None), None)
+        if fatal_exc is not None:
+            raise fatal_exc
+
         stats.elapsed = time.monotonic() - start
         stats.items_processed = sum(handled)
         stats.items_errored = sum(errored)
+        stats.items_retried = sum(retried)
         stats.thread_completion_times = sorted(last_done)
         stats.items_per_thread = {
             i: handled[i] + errored[i] for i in range(self.nthreads)

@@ -33,6 +33,31 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "12 dirs" in out
 
+    def test_trace2index_fault_plan_then_resume(self, tmp_path, capsys):
+        """--fault-plan kills the build (exit 1, resume hint); a rerun
+        with --resume finishes it and the index answers queries."""
+        tree = build_demo_tree()
+        stanzas = TreeWalkScanner(tree, nthreads=1).scan("/").stanzas
+        write_trace(stanzas, tmp_path / "t.trace")
+        idx = str(tmp_path / "idx")
+        rc = run_cli("trace2index", str(tmp_path / "t.trace"), idx,
+                     "-n", "2", "--fault-plan", "crash:build_dir_db:5")
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "build crashed" in captured.err
+        assert "--resume" in captured.err
+        assert (tmp_path / "idx" / "gufi_build.journal").exists()
+
+        rc = run_cli("trace2index", str(tmp_path / "t.trace"), idx,
+                     "-n", "2", "--resume")
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "resumed-over" in captured.out
+        assert not (tmp_path / "idx" / "gufi_build.journal").exists()
+        rc = run_cli("query", idx, "-E", "SELECT name FROM pentries", "-n", "2")
+        assert rc == 0
+        assert "b.txt" in capsys.readouterr().out
+
     def test_demo_index_and_stats(self, tmp_path, capsys):
         rc = run_cli("demo-index", str(tmp_path / "idx"),
                      "--scale", "0.00003", "-n", "2")

@@ -123,6 +123,30 @@ class TestSummaryRows:
         )
         assert urow["totfiles"] == 1
 
+    def test_summary_name_pinned_by_rectype(self):
+        """Regression: the summary ``name`` must be the directory's own
+        basename for the overall record (rollup and rpath key on it)
+        and the principal slice — ``u<uid>`` / ``g<gid>`` — for
+        per-user/per-group records. A dead ternary once made every
+        record claim the directory basename."""
+        tree = build_demo_tree()
+        stanzas = TreeWalkScanner(tree, nthreads=1).scan("/").stanzas
+        shared = next(s for s in stanzas if s.directory.path == "/proj/shared")
+        rows = summary_rows(shared, depth=2, per_user_group=True)
+        names = {}
+        for r in rows:
+            cols = dict(zip(schema.SUMMARY_COLUMNS, r))
+            names.setdefault(cols["rectype"], []).append(
+                (cols["name"], cols["uid"], cols["gid"])
+            )
+        assert names[schema.RECTYPE_OVERALL] == [
+            ("shared", shared.directory.uid, shared.directory.gid)
+        ]
+        for name, uid, _ in names[schema.RECTYPE_USER]:
+            assert name == f"u{uid}"
+        for name, _, gid in names[schema.RECTYPE_GROUP]:
+            assert name == f"g{gid}"
+
     def test_subdir_count_from_nlink(self):
         tree = build_demo_tree()
         stanzas = TreeWalkScanner(tree, nthreads=1).scan("/").stanzas
@@ -205,10 +229,22 @@ class TestBuilders:
         with pytest.raises(IndexError_):
             GUFIIndex.open(tmp_path)
 
-    def test_build_from_stanzas_error_propagates(self, tmp_path):
+    def test_build_from_stanzas_reports_structured_errors(self, tmp_path):
+        """A bad directory no longer aborts the build: it lands in
+        BuildResult.errors while every other directory is published."""
         tree = build_demo_tree()
         stanzas = TreeWalkScanner(tree, nthreads=1).scan("/").stanzas
         # corrupt a stanza to force a failure
         stanzas[3].entries.append("not a record")  # type: ignore[arg-type]
-        with pytest.raises(RuntimeError):
-            build_from_stanzas(stanzas, tmp_path / "bad", BuildOptions(nthreads=NTHREADS))
+        result = build_from_stanzas(
+            stanzas, tmp_path / "bad", BuildOptions(nthreads=NTHREADS)
+        )
+        assert not result.ok
+        assert len(result.errors) == 1
+        bad_path, exc = result.errors[0]
+        assert bad_path == stanzas[3].directory.path
+        assert isinstance(exc, Exception)
+        # partial progress: everything else was published
+        assert result.dirs_created == len(stanzas) - 1
+        # the journal survives for a future resume=True run
+        assert (tmp_path / "bad" / "gufi_build.journal").exists()
