@@ -25,6 +25,7 @@ import sys
 
 from repro.core.build import BuildOptions, BuildResult, trace2index
 from repro.core.index import GUFIIndex
+from repro.core.plan import QueryPlan
 from repro.core.query import GUFIQuery, QuerySpec
 from repro.core.rollup import rollup, unrollup_dir, visible_db_count
 from repro.core.tools import FindFilters, GUFITools
@@ -116,8 +117,17 @@ def cmd_query(args: argparse.Namespace) -> int:
         J=args.join, G=args.final, xattrs=args.xattrs,
         output_prefix=args.output,
     )
+    plan = None
+    if args.min_level is not None or args.max_level is not None:
+        # Raw user SQL may read any table, so only the *depth window*
+        # is planned (entries_shaped=False disables the stats gates).
+        plan = QueryPlan(
+            min_level=args.min_level,
+            max_level=args.max_level,
+            entries_shaped=False,
+        )
     q = GUFIQuery(index, creds=_creds(args), nthreads=args.nthreads)
-    result = q.run(spec, args.start)
+    result = q.run(spec, args.start, plan=plan)
     for row in result.rows:
         print("\t".join("" if v is None else str(v) for v in row))
     if result.output_files:
@@ -125,6 +135,7 @@ def cmd_query(args: argparse.Namespace) -> int:
             print(f"# wrote {path}", file=sys.stderr)
     print(
         f"# {result.dirs_visited} dirs visited, {result.dirs_denied} denied, "
+        f"{result.dirs_pruned_by_plan} plan-pruned, "
         f"{result.elapsed:.3f}s",
         file=sys.stderr,
     )
@@ -137,10 +148,18 @@ def cmd_find(args: argparse.Namespace) -> int:
     filters = FindFilters(
         name_like=args.name, ftype=args.type,
         min_size=args.min_size, max_size=args.max_size,
+        min_level=args.min_level, max_level=args.max_level,
     )
-    result = tools.find(args.start, filters)
+    result = tools.find(args.start, filters, planned=not args.no_plan)
     for path, ftype, size in sorted(result.rows):
         print(f"{ftype}\t{size}\t{path}")
+    print(
+        f"# {result.dirs_visited} dirs visited, "
+        f"{result.dbs_opened} dbs opened, "
+        f"{result.dirs_pruned_by_plan} plan-pruned, "
+        f"{result.attaches_elided} attaches elided",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -203,13 +222,27 @@ def cmd_search(args: argparse.Namespace) -> int:
     from repro.core.search import parse
 
     index = GUFIIndex.open(args.index_root)
-    spec = parse(args.query, now=args.now).to_spec()
+    parsed = parse(args.query, now=args.now)
+    if args.no_plan:
+        f = parsed.filters
+        plan = None
+        if f.min_level is not None or f.max_level is not None:
+            # the depth window is semantic — it survives --no-plan
+            plan = QueryPlan(
+                min_level=f.min_level,
+                max_level=f.max_level,
+                entries_shaped=False,
+            )
+    else:
+        plan = parsed.to_plan()
     q = GUFIQuery(index, creds=_creds(args), nthreads=args.nthreads)
-    result = q.run(spec, args.start)
+    result = q.run(parsed.to_spec(), args.start, plan=plan)
     for row in sorted(result.rows):
         print("\t".join(str(v) for v in row))
     print(
-        f"# {len(result.rows)} matches from {result.dirs_visited} dirs",
+        f"# {len(result.rows)} matches from {result.dirs_visited} dirs "
+        f"({result.dirs_pruned_by_plan} plan-pruned, "
+        f"{result.attaches_elided} attaches elided)",
         file=sys.stderr,
     )
     return 0
@@ -238,6 +271,7 @@ def cmd_experiments(args: argparse.Namespace) -> int:
         "rollup": lambda: print(harness.rollup_reduction().render()),
         "ingest": lambda: print(harness.ingest_rate().render()),
         "resilience": lambda: print(harness.build_resilience().render()),
+        "planning": lambda: print(harness.planning_ablation().render()),
     }
 
     def _print_fig8():
@@ -297,6 +331,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--xattrs", action="store_true")
     p.add_argument("-o", "--output", default=None,
                    help="stream rows to per-thread files <prefix>.<n>")
+    p.add_argument("-y", "--min-level", type=int, default=None,
+                   help="process only dirs >= this level below start")
+    p.add_argument("-z", "--max-level", type=int, default=None,
+                   help="process only dirs <= this level below start "
+                        "(descent stops there too)")
     _add_threads(p)
     _add_identity(p)
     p.set_defaults(func=cmd_query)
@@ -308,6 +347,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--type", default=None, choices=["f", "l"])
     p.add_argument("--min-size", type=int, default=None)
     p.add_argument("--max-size", type=int, default=None)
+    p.add_argument("--min-level", type=int, default=None,
+                   help="depth window lower bound (gufi_query -y)")
+    p.add_argument("--max-level", type=int, default=None,
+                   help="depth window upper bound (gufi_query -z)")
+    p.add_argument("--no-plan", action="store_true",
+                   help="disable summary-statistics pruning "
+                        "(results are identical; for comparison)")
     _add_threads(p)
     _add_identity(p)
     p.set_defaults(func=cmd_find)
@@ -351,6 +397,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--start", default="/")
     p.add_argument("--now", type=int, default=None,
                    help="reference timestamp for older:/newer:")
+    p.add_argument("--no-plan", action="store_true",
+                   help="disable summary-statistics pruning "
+                        "(results are identical; for comparison)")
     _add_threads(p)
     _add_identity(p)
     p.set_defaults(func=cmd_search)
@@ -366,7 +415,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "which",
         choices=["fig1", "table1", "fig7", "fig8", "fig9", "fig10",
-                 "rollup", "ingest", "resilience", "all"],
+                 "rollup", "ingest", "resilience", "planning", "all"],
     )
     p.set_defaults(func=cmd_experiments)
 

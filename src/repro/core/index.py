@@ -34,10 +34,44 @@ META_FILE = "gufi_index.json"
 
 
 @dataclass(frozen=True)
+class DirStats:
+    """Aggregate bounds over every entries row a directory's database
+    can return, read from its ``summary`` record(s) — the planner's
+    input (paper §III-A2: summary rows exist so queries can be *gated*
+    by aggregates instead of scanning entries).
+
+    For a rolled-up database the bounds are aggregated across **all**
+    rectype-0 summary rows (the directory's own ``isroot=1`` record
+    plus every rolled-in ``isroot=0`` copy), so they cover the merged
+    ``pentries`` rows too. ``minsize``/``maxsize`` bound regular files
+    only — symlink rows are outside them, which the planner must (and
+    does) account for via ``totlinks``. Any field may be ``None``
+    (no such rows, or a NULL in the backing columns); ``None`` always
+    means "no bound" — the conservative-on-NULL rule.
+    """
+
+    totfiles: int | None
+    totlinks: int | None
+    minsize: int | None
+    maxsize: int | None
+    minmtime: int | None
+    maxmtime: int | None
+    minuid: int | None
+    maxuid: int | None
+    mingid: int | None
+    maxgid: int | None
+    #: deepest *absolute* directory depth in the subtree, from a
+    #: tsummary row when one exists (None otherwise)
+    maxdepth: int | None
+
+
+@dataclass(frozen=True)
 class DirMeta:
     """The traversal-relevant metadata of one index directory, read
     from its summary record — the moral equivalent of ``stat`` on the
-    directory during descent."""
+    directory during descent. ``stats`` carries the summary aggregates
+    the query planner gates on; a warm :class:`DirMetaCache` therefore
+    holds enough to decide matchability without touching SQLite."""
 
     inode: int
     mode: int
@@ -45,6 +79,7 @@ class DirMeta:
     gid: int
     rolledup: bool
     rollup_entries: int
+    stats: DirStats | None = None
 
 
 class IndexError_(Exception):
@@ -254,10 +289,66 @@ class GUFIIndex:
     # Per-directory metadata
     # ------------------------------------------------------------------
     @staticmethod
+    def read_dir_stats(
+        conn: sqlite3.Connection, alias: str = "main"
+    ) -> DirStats | None:
+        """Aggregate the planner's bounds over every rectype-0 summary
+        row (so rolled-up databases are bounded over their merged
+        subtree too), plus the subtree ``maxdepth`` from tsummary when
+        one exists.
+
+        Conservative on NULL: if any row carries a NULL in a column the
+        bounds depend on while claiming entries exist, the whole stats
+        record is dropped (``None``) and the planner cannot gate this
+        directory — a missing stat must widen, never narrow, the set of
+        directories processed."""
+        row = conn.execute(
+            f"SELECT COUNT(*), TOTAL(totfiles), TOTAL(totlinks), "
+            f"MIN(minsize), MAX(maxsize), MIN(minmtime), MAX(maxmtime), "
+            f"MIN(minuid), MAX(maxuid), MIN(mingid), MAX(maxgid), "
+            f"SUM(CASE WHEN totfiles IS NULL OR totlinks IS NULL "
+            f"  OR (totfiles > 0 AND (minsize IS NULL OR maxsize IS NULL)) "
+            f"  OR (totfiles + totlinks > 0 AND ("
+            f"      minmtime IS NULL OR maxmtime IS NULL "
+            f"      OR minuid IS NULL OR maxuid IS NULL "
+            f"      OR mingid IS NULL OR maxgid IS NULL)) "
+            f"THEN 1 ELSE 0 END) "
+            f"FROM {alias}.summary WHERE rectype = ?",
+            (schema.RECTYPE_OVERALL,),
+        ).fetchone()
+        if row is None or not row[0] or row[11]:
+            return None
+        maxdepth = None
+        try:
+            ts = conn.execute(
+                f"SELECT MAX(maxdepth) FROM {alias}.tsummary "
+                f"WHERE rectype = ?",
+                (schema.RECTYPE_OVERALL,),
+            ).fetchone()
+            if ts is not None and ts[0] is not None:
+                maxdepth = int(ts[0])
+        except sqlite3.Error:
+            maxdepth = None
+        return DirStats(
+            totfiles=int(row[1]),
+            totlinks=int(row[2]),
+            minsize=row[3],
+            maxsize=row[4],
+            minmtime=row[5],
+            maxmtime=row[6],
+            minuid=row[7],
+            maxuid=row[8],
+            mingid=row[9],
+            maxgid=row[10],
+            maxdepth=maxdepth,
+        )
+
+    @staticmethod
     def read_dir_meta(conn: sqlite3.Connection, alias: str = "main") -> DirMeta:
         """Read the directory's own summary record from an open
-        connection (the descent-time 'stat'). ``alias`` qualifies the
-        schema when the database is ATTACHed rather than main."""
+        connection (the descent-time 'stat'), plus the planner's
+        aggregate bounds. ``alias`` qualifies the schema when the
+        database is ATTACHed rather than main."""
         row = conn.execute(
             f"SELECT inode, mode, uid, gid, rolledup, rollup_entries "
             f"FROM {alias}.summary WHERE isroot = 1 AND rectype = ? LIMIT 1",
@@ -272,6 +363,7 @@ class GUFIIndex:
             gid=row[3],
             rolledup=bool(row[4]),
             rollup_entries=row[5],
+            stats=GUFIIndex.read_dir_stats(conn, alias),
         )
 
     def dir_meta(self, source_path: str) -> DirMeta:

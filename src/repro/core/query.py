@@ -33,6 +33,16 @@ queries on a warm index skip per-query setup and per-directory summary
 reads. Per-directory accounting (counters, result rows) is kept in the
 per-thread state and merged once after the walk; the hot path takes no
 locks.
+
+Planning: ``run(spec, start, plan=...)`` accepts a
+:class:`~repro.core.plan.QueryPlan`. Directories the plan proves
+unmatchable skip the ``E`` stage (counted in
+``dirs_pruned_by_plan``); when nothing else needs the database and the
+permission record is already cached, the SQLite attach is skipped
+entirely (``attaches_elided``) and descent continues off the cached
+child listing. The plan's depth window (``-y``/``-z``) bounds which
+levels are processed and how deep the walk descends. Pruning is
+conservative by construction — see :mod:`repro.core.plan`.
 """
 
 from __future__ import annotations
@@ -55,6 +65,7 @@ from repro.sim.blktrace import IOTracer
 from . import db as dbmod
 from . import schema
 from .index import DirMeta, GUFIIndex
+from .plan import QueryPlan
 from .session import ThreadStatePool, _ThreadState
 from .sqlfuncs import QueryContext, register
 from .xattrs import build_xattr_views, drop_xattr_views
@@ -94,6 +105,13 @@ class QueryResult:
     dbs_opened: int
     #: directories skipped because their database was corrupt/unreadable
     dirs_errored: int = 0
+    #: directories whose stage execution the query plan skipped
+    #: (stats gate proved no row can match, or depth window excluded
+    #: the level)
+    dirs_pruned_by_plan: int = 0
+    #: plan-pruned directories that never attached their database at
+    #: all (warm cache answered permission + matchability)
+    attaches_elided: int = 0
     #: per-thread output files when QuerySpec.output_prefix was used
     output_files: list[str] | None = None
     walk_stats: WalkStats | None = None
@@ -174,45 +192,111 @@ class GUFIQuery:
     # ------------------------------------------------------------------
     # Entry points
     # ------------------------------------------------------------------
-    def run_single(self, spec: QuerySpec, path: str = "/") -> QueryResult:
+    def run_single(
+        self,
+        spec: QuerySpec,
+        path: str = "/",
+        plan: QueryPlan | None = None,
+    ) -> QueryResult:
         """Process exactly one directory's database (no descent) —
         what ``gufi_ls`` of a single directory needs. The same
         permission rules apply: ancestors must be searchable, the
-        directory itself readable."""
+        directory itself readable.
+
+        Semantics match one directory of :meth:`run`: a missing index
+        directory raises FileNotFoundError; a present-but-corrupt
+        database is *counted* (``dirs_errored``) rather than raised;
+        ``T`` only executes when ``tsummary`` has rows (and then
+        prunes ``S``/``E`` unless ``t_no_prune``); and a plan can skip
+        the ``E`` stage — or the attach — exactly as in the walk."""
         t0 = time.monotonic()
         path = "/" + "/".join(p for p in path.split("/") if p)
         self._check_root_reachable(path)
+        db_path = self.index.db_path(path)
+        if not db_path.exists():
+            raise FileNotFoundError(f"no index directory for {path!r}")
+
+        def errored() -> QueryResult:
+            return QueryResult(
+                rows=[],
+                elapsed=time.monotonic() - t0,
+                dirs_visited=0,
+                dirs_denied=0,
+                dbs_opened=0,
+                dirs_errored=1,
+            )
+
         meta = self._read_meta(path)
         if meta is None:
-            raise FileNotFoundError(f"no index directory for {path!r}")
+            # db.db exists but cannot be read/parsed: count it, like
+            # the walk path does, instead of raising.
+            return errored()
         if not can_search_dir(meta.mode, meta.uid, meta.gid, self.creds):
             raise QueryPermissionError(f"permission denied: {path!r}")
         if not can_read_dir(meta.mode, meta.uid, meta.gid, self.creds):
             raise QueryPermissionError(f"permission denied (unreadable): {path!r}")
+
+        run_e = bool(spec.E)
+        plan_pruned = False
+        if plan is not None and (spec.T or spec.S or spec.E):
+            # The single directory sits at level 0 of its own query.
+            process = plan.wants_level(0)
+            run_e = run_e and process and plan.dir_can_match(meta)
+            plan_pruned = (bool(spec.E) and not run_e) or not process
+            if not process or (not run_e and not (spec.T or spec.S)):
+                # No stage needs the database at all.
+                return QueryResult(
+                    rows=[],
+                    elapsed=time.monotonic() - t0,
+                    dirs_visited=1,
+                    dirs_denied=0,
+                    dbs_opened=0,
+                    dirs_pruned_by_plan=1,
+                    attaches_elided=1,
+                )
+
         index_dir = self.index.index_dir(path)
         st = self.pool.acquire(spec.I, None)
         try:
             st.ctx.current_path = path
             st.ctx.current_depth = 0 if path == "/" else path.count("/")
-            dbmod.attach_ro(
-                st.conn, index_dir / schema.DB_NAME, "gufi", self.tracer
-            )
+            try:
+                dbmod.attach_ro(
+                    st.conn, index_dir / schema.DB_NAME, "gufi", self.tracer
+                )
+            except sqlite3.DatabaseError:
+                return errored()
             rows: list[tuple] = []
             aliases: list[str] = []
             try:
-                if spec.xattrs:
-                    aliases = build_xattr_views(
-                        st.conn, index_dir, self.creds, "gufi", self.tracer
-                    )
-                try:
-                    for sql in (spec.T, spec.S, spec.E):
-                        if sql:
-                            cur = st.conn.execute(sql)
+                t_pruned = False
+                if spec.T:
+                    (n_ts,) = st.conn.execute(
+                        "SELECT COUNT(*) FROM gufi.tsummary"
+                    ).fetchone()
+                    if n_ts:
+                        cur = st.conn.execute(spec.T)
+                        if cur.description is not None:
+                            rows.extend(cur.fetchall())
+                        if not spec.t_no_prune:
+                            t_pruned = True
+                if not t_pruned:
+                    if spec.xattrs:
+                        aliases = build_xattr_views(
+                            st.conn, index_dir, self.creds, "gufi", self.tracer
+                        )
+                    try:
+                        if spec.S:
+                            cur = st.conn.execute(spec.S)
                             if cur.description is not None:
                                 rows.extend(cur.fetchall())
-                finally:
-                    if spec.xattrs:
-                        drop_xattr_views(st.conn, aliases)
+                        if spec.E and run_e:
+                            cur = st.conn.execute(spec.E)
+                            if cur.description is not None:
+                                rows.extend(cur.fetchall())
+                    finally:
+                        if spec.xattrs:
+                            drop_xattr_views(st.conn, aliases)
             finally:
                 st.conn.commit()
                 dbmod.detach(st.conn, "gufi")
@@ -224,9 +308,15 @@ class GUFIQuery:
             dirs_visited=1,
             dirs_denied=0,
             dbs_opened=1,
+            dirs_pruned_by_plan=1 if plan_pruned else 0,
         )
 
-    def run(self, spec: QuerySpec, start: str = "/") -> QueryResult:
+    def run(
+        self,
+        spec: QuerySpec,
+        start: str = "/",
+        plan: QueryPlan | None = None,
+    ) -> QueryResult:
         t0 = time.monotonic()
         start = "/" + "/".join(p for p in start.split("/") if p)
         self._check_root_reachable(start)
@@ -236,6 +326,11 @@ class GUFIQuery:
         pool = self.pool
         index = self.index
         creds = self.creds
+        start_depth = 0 if start == "/" else start.count("/")
+        # A plan only matters when there are per-directory stages to
+        # skip; with none, the normal path is already minimal.
+        if plan is not None and not (spec.T or spec.S or spec.E):
+            plan = None
         # Thread-ident -> checked-out state, for *this* run only (the
         # walker creates fresh threads per walk). The lock is taken
         # once per thread per run — at checkout — never per directory.
@@ -263,12 +358,32 @@ class GUFIQuery:
                 return cur.fetchall()
             return []
 
+        def children_of(
+            source_path: str, meta: DirMeta, rel_depth: int
+        ) -> list[str]:
+            """The directory's plan-gated child work-items. Descent
+            stops below ``max_level``, and a subtree whose tsummary
+            ``maxdepth`` proves it cannot reach ``min_level`` is cut
+            whole."""
+            if plan is not None:
+                sub_max = None
+                stats = meta.stats
+                if stats is not None and stats.maxdepth is not None:
+                    sub_max = stats.maxdepth - start_depth
+                if not plan.descend_allowed(rel_depth, sub_max):
+                    return []
+            prefix = "" if source_path == "/" else source_path
+            return [
+                f"{prefix}/{name}"
+                for name in index.cached_subdir_names(source_path)
+            ]
+
         def expand(source_path: str) -> list[str]:
             st = thread_state()
             st.ctx.current_path = source_path
-            st.ctx.current_depth = (
-                0 if source_path == "/" else source_path.count("/")
-            )
+            depth = 0 if source_path == "/" else source_path.count("/")
+            st.ctx.current_depth = depth
+            rel_depth = depth - start_depth
             index_dir = index.index_dir(source_path)
             db_path = index_dir / schema.DB_NAME
             # Descent-time 'stat': the validated cache answers warm
@@ -282,6 +397,30 @@ class GUFIQuery:
                 ) or not can_read_dir(meta.mode, meta.uid, meta.gid, creds):
                     st.denied += 1
                     return []
+            # Plan gates. process_level is the -y/-z window (outside
+            # it *no* stage runs); run_e additionally folds in the
+            # stats gate once metadata is at hand.
+            process_level = plan.wants_level(rel_depth) if plan else True
+            if plan is not None and meta is not None:
+                # Warm fast path: the cached stats decide matchability
+                # before any SQLite work. When no surviving stage needs
+                # the database, the attach is elided outright and the
+                # walk continues off the cached child listing.
+                run_e = (
+                    bool(spec.E)
+                    and process_level
+                    and plan.dir_can_match(meta)
+                )
+                if not process_level or (
+                    bool(spec.E) and not run_e
+                ):
+                    if not (process_level and (spec.T or spec.S)):
+                        st.visited += 1
+                        st.pruned += 1
+                        st.elided += 1
+                        if meta.rolledup:
+                            return []
+                        return children_of(source_path, meta, rel_depth)
             pruned = False
             local_rows: list[tuple] = []
             try:
@@ -348,7 +487,22 @@ class GUFIQuery:
                     self.tracer.record(str(db_path), nbytes)
                 st.visited += 1
                 st.opened += 1
-                if spec.T:
+                # Effective stages for this directory. Outside the
+                # depth window nothing runs; the stats gate (sound
+                # only for entries-shaped E) can further drop E.
+                run_t = bool(spec.T) and process_level
+                run_s = bool(spec.S) and process_level
+                run_e = bool(spec.E) and process_level
+                if plan is not None:
+                    if run_e and not plan.dir_can_match(meta):
+                        run_e = False
+                    if (
+                        (bool(spec.T) and not run_t)
+                        or (bool(spec.S) and not run_s)
+                        or (bool(spec.E) and not run_e)
+                    ):
+                        st.pruned += 1
+                if run_t:
                     (n_ts,) = st.conn.execute(
                         "SELECT COUNT(*) FROM gufi.tsummary"
                     ).fetchone()
@@ -356,19 +510,19 @@ class GUFIQuery:
                         local_rows.extend(run_sql(st, spec.T))
                         if not spec.t_no_prune:
                             pruned = True
-                if not pruned:
+                if not pruned and (run_s or run_e):
                     aliases: list[str] = []
-                    if spec.xattrs:
+                    if spec.xattrs and run_e:
                         aliases = build_xattr_views(
                             st.conn, index_dir, creds, "gufi", self.tracer
                         )
                     try:
-                        if spec.S:
+                        if run_s:
                             local_rows.extend(run_sql(st, spec.S))
-                        if spec.E:
+                        if run_e:
                             local_rows.extend(run_sql(st, spec.E))
                     finally:
-                        if spec.xattrs:
+                        if aliases:
                             drop_xattr_views(st.conn, aliases)
             finally:
                 if attached:
@@ -389,11 +543,7 @@ class GUFIQuery:
             # descending would double-count (§III-C3).
             if pruned or meta.rolledup:
                 return []
-            prefix = "" if source_path == "/" else source_path
-            return [
-                f"{prefix}/{name}"
-                for name in index.cached_subdir_names(source_path)
-            ]
+            return children_of(source_path, meta, rel_depth)
 
         walker = ParallelTreeWalker(self.nthreads)
         stats = walker.walk([start], expand)
@@ -406,6 +556,8 @@ class GUFIQuery:
         denied = sum(st.denied for st in states)
         opened = sum(st.opened for st in states)
         errored = sum(st.errored for st in states)
+        plan_pruned = sum(st.pruned for st in states)
+        elided = sum(st.elided for st in states)
 
         # ------------------------------------------------------------------
         # Merge phase: J per thread database, then G on the aggregate.
@@ -467,6 +619,8 @@ class GUFIQuery:
             dirs_denied=denied,
             dbs_opened=opened,
             dirs_errored=errored,
+            dirs_pruned_by_plan=plan_pruned,
+            attaches_elided=elided,
             output_files=sorted(output_files) if output_files else None,
             walk_stats=stats,
         )

@@ -18,12 +18,23 @@ Grammar (whitespace-separated terms, all AND-ed)::
     newer:<N>d           mtime within the last N days
     xattr:<name>         carries an xattr with this name
     tag:<substring>      an accessible xattr value contains substring
+    minlevel:<N>         only directories >= N levels below the start
+    maxlevel:<N>         only directories <= N levels below the start
+                         (the depth window, gufi_query's -y/-z; also
+                         stops descent below N)
     <bare word>          shorthand for name:*word*
 
 Examples::
 
     "*.h5 size>>100m older:90d"       stale large HDF5 files
     "type:f user:1001 tag:exp-001"    my files labelled exp-001
+    "size>>1g maxlevel:2"             big files near the project roots
+
+A parsed query also compiles (``to_plan``) to a
+:class:`~repro.core.plan.QueryPlan`: size/mtime/uid/gid/type terms are
+pushed down as summary-statistics gates and the level terms as the
+depth window, so the engine can skip directories that provably cannot
+match. name/xattr/tag terms contribute no gate (conservative).
 """
 
 from __future__ import annotations
@@ -31,6 +42,7 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass
 
+from .plan import QueryPlan, plan_for
 from .query import QuerySpec
 from .tools import FindFilters, _quote
 
@@ -108,6 +120,13 @@ class SearchQuery:
             f"FROM vrpentries{where}"
         )
 
+    def to_plan(self) -> QueryPlan:
+        """Compile the prunable terms to a :class:`QueryPlan`.
+
+        The tag: E query reads ``xpentries`` — still entries-shaped
+        (one row per entries row), so the stats gates remain sound."""
+        return plan_for(self.filters)
+
 
 def parse(query: str, now: int | None = None) -> SearchQuery:
     """Parse a search-bar string. ``now`` anchors older:/newer: terms
@@ -153,6 +172,14 @@ def parse(query: str, now: int | None = None) -> SearchQuery:
             filters.xattr_name_like = f"%{value}%"
         elif key == "tag" and op == ":":
             tag = value
+        elif key == "minlevel" and op == ":":
+            if not value.isdigit():
+                raise SearchSyntaxError(f"minlevel wants an integer, not {value!r}")
+            filters.min_level = int(value)
+        elif key == "maxlevel" and op == ":":
+            if not value.isdigit():
+                raise SearchSyntaxError(f"maxlevel wants an integer, not {value!r}")
+            filters.max_level = int(value)
         else:
             raise SearchSyntaxError(f"unknown term {raw!r}")
     return SearchQuery(filters=filters, tag_substring=tag, text=query)

@@ -246,12 +246,17 @@ class GUFIServer:
                 spec = kwargs.pop("spec")
                 if not isinstance(spec, QuerySpec):
                     raise TypeError("query requires a QuerySpec")
-                result: QueryResult = tools.query.run(spec, start)
+                plan = kwargs.pop("plan", None)
+                result: QueryResult = tools.query.run(spec, start, plan=plan)
                 ok = True
                 return result
             method = getattr(tools, tool)
             if tool in ("find",):
-                result = method(start, kwargs.pop("filters", None))
+                result = method(
+                    start,
+                    kwargs.pop("filters", None),
+                    planned=kwargs.pop("planned", True),
+                )
             elif tool in ("ls",):
                 result = method(start, **kwargs)
             else:
@@ -303,10 +308,29 @@ class QueryPortal:
         )
 
     def search(self, username: str, query: str, start: str = "/",
-               now: int | None = None):
+               now: int | None = None, planned: bool = True):
         """The search bar: parse the portal query language and run it
-        with the caller's credentials (see :mod:`repro.core.search`)."""
+        with the caller's credentials (see :mod:`repro.core.search`).
+        The parsed terms also compile to a summary-statistics query
+        plan, so selective searches skip most directories' databases;
+        ``planned=False`` runs unplanned (identical results)."""
         from .search import parse
 
-        spec = parse(query, now=now).to_spec()
-        return self.server.invoke(username, "query", start, spec=spec)
+        parsed = parse(query, now=now)
+        if planned:
+            plan = parsed.to_plan()
+        else:
+            f = parsed.filters
+            plan = None
+            if f.min_level is not None or f.max_level is not None:
+                # the depth window is semantic — it survives planned=False
+                from .plan import QueryPlan
+
+                plan = QueryPlan(
+                    min_level=f.min_level,
+                    max_level=f.max_level,
+                    entries_shaped=False,
+                )
+        return self.server.invoke(
+            username, "query", start, spec=parsed.to_spec(), plan=plan
+        )

@@ -61,6 +61,8 @@ class _ThreadState:
         "denied",
         "opened",
         "errored",
+        "pruned",
+        "elided",
         "_init_sql",
     )
 
@@ -75,6 +77,8 @@ class _ThreadState:
         self.denied = 0
         self.opened = 0
         self.errored = 0
+        self.pruned = 0
+        self.elided = 0
         self._init_sql: str | None = None
 
     # ------------------------------------------------------------------
@@ -83,6 +87,7 @@ class _ThreadState:
         rebuild the scratch schema, and (re)point the output file."""
         self.rows = []
         self.visited = self.denied = self.opened = self.errored = 0
+        self.pruned = self.elided = 0
         # A previous run that died mid-directory (or mid-merge) may
         # have left a database attached; a stale attach would shadow
         # this run's.
@@ -287,11 +292,11 @@ class QuerySession:
         else:
             self.query = GUFIQuery(index, creds=creds, nthreads=nthreads, **kwargs)
 
-    def run(self, spec, start: str = "/"):
-        return self.query.run(spec, start)
+    def run(self, spec, start: str = "/", plan=None):
+        return self.query.run(spec, start, plan=plan)
 
-    def run_single(self, spec, path: str = "/"):
-        return self.query.run_single(spec, path)
+    def run_single(self, spec, path: str = "/", plan=None):
+        return self.query.run_single(spec, path, plan=plan)
 
     @property
     def pool(self) -> ThreadStatePool:

@@ -16,6 +16,7 @@ from repro.fs.permissions import ROOT, Credentials, format_mode
 from repro.sim.blktrace import IOTracer
 
 from .index import GUFIIndex
+from .plan import QueryPlan, plan_for
 from .query import GUFIQuery, QueryResult, QuerySpec
 
 
@@ -39,6 +40,11 @@ class FindFilters:
     mtime_after: int | None = None
     #: match against packed xattr name list in entries
     xattr_name_like: str | None = None
+    #: depth window relative to the query start (gufi_query -y/-z):
+    #: directories outside it are traversed but not processed; nothing
+    #: below max_level is visited. Enforced by the planner, not SQL.
+    min_level: int | None = None
+    max_level: int | None = None
 
     def where_clause(self) -> str:
         conds = []
@@ -100,17 +106,39 @@ class GUFITools:
 
     # ------------------------------------------------------------------
     def find(
-        self, start: str = "/", filters: FindFilters | None = None
+        self,
+        start: str = "/",
+        filters: FindFilters | None = None,
+        planned: bool = True,
     ) -> QueryResult:
         """``gufi_find``: paths of matching entries (and directories
-        when no type filter excludes them)."""
+        when no type filter excludes them).
+
+        By default the filters are also compiled into a
+        :class:`~repro.core.plan.QueryPlan` so directories whose
+        summary statistics prove them unmatchable are skipped without
+        attaching their database; ``planned=False`` disables that
+        (results are identical either way — the plan is conservative)."""
         filters = filters or FindFilters()
         where = filters.where_clause()
         spec = QuerySpec(
             E="SELECT rpath(dname, d_isroot, name), type, size "
             f"FROM vrpentries{where}"
         )
-        return self.query.run(spec, start)
+        if planned:
+            plan = plan_for(filters)
+        elif filters.min_level is not None or filters.max_level is not None:
+            # The depth window is *semantic* (it changes which levels
+            # are processed), so it survives planned=False — only the
+            # stats gates are switched off (entries_shaped=False).
+            plan = QueryPlan(
+                min_level=filters.min_level,
+                max_level=filters.max_level,
+                entries_shaped=False,
+            )
+        else:
+            plan = None
+        return self.query.run(spec, start, plan=plan)
 
     def ls(self, path: str = "/", long_format: bool = False) -> list[str]:
         """``gufi_ls``: one directory's listing (non-recursive)."""

@@ -11,6 +11,7 @@ from .experiments import (
     fig10,
     ingest_rate,
     modeled_gufi_time,
+    planning_ablation,
     rollup_reduction,
     table1,
 )
@@ -33,6 +34,7 @@ __all__ = [
     "fmt_value",
     "ingest_rate",
     "modeled_gufi_time",
+    "planning_ablation",
     "rollup_reduction",
     "table1",
 ]
