@@ -51,6 +51,63 @@ def _add_threads(p: argparse.ArgumentParser) -> None:
                    help="worker threads (the paper's -n flag)")
 
 
+def _add_obs(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--metrics", action="store_true",
+                   help="record process metrics and print the table on exit")
+    p.add_argument("--metrics-out", default=None, metavar="FILE",
+                   help="write Prometheus-format metrics to FILE on exit")
+    p.add_argument("--trace-out", default=None, metavar="FILE",
+                   help="record spans; write a JSON-lines trace to FILE")
+    p.add_argument("--slow-query-ms", type=float, default=None, metavar="MS",
+                   help="log operations slower than MS milliseconds")
+
+
+def _obs_begin(args: argparse.Namespace) -> bool:
+    """Enable the requested observability components (if any)."""
+    from repro import obs
+
+    want_metrics = bool(
+        getattr(args, "metrics", False) or getattr(args, "metrics_out", None)
+    )
+    tracing = getattr(args, "trace_out", None) is not None
+    slow_ms = getattr(args, "slow_query_ms", None)
+    if not (want_metrics or tracing or slow_ms is not None):
+        return False
+    obs.enable(metrics=want_metrics, tracing=tracing, slow_query_ms=slow_ms)
+    return True
+
+
+def _obs_end(args: argparse.Namespace) -> None:
+    """Export whatever was recorded, then disable."""
+    from pathlib import Path
+
+    from repro import obs
+    from repro.obs.export import (
+        render_metrics,
+        render_slow_log,
+        to_prometheus,
+        write_trace_jsonl,
+    )
+
+    try:
+        if getattr(args, "metrics", False):
+            print(render_metrics(obs.snapshot()), file=sys.stderr)
+        metrics_out = getattr(args, "metrics_out", None)
+        if metrics_out:
+            Path(metrics_out).write_text(
+                to_prometheus(obs.snapshot()), encoding="utf-8"
+            )
+            print(f"# wrote metrics to {metrics_out}", file=sys.stderr)
+        trace_out = getattr(args, "trace_out", None)
+        if trace_out:
+            n = write_trace_jsonl(trace_out, obs.tracer().spans())
+            print(f"# wrote {n} spans to {trace_out}", file=sys.stderr)
+        if getattr(args, "slow_query_ms", None) is not None:
+            print(render_slow_log(obs.slow_log()), file=sys.stderr)
+    finally:
+        obs.disable()
+
+
 def _build_opts(args: argparse.Namespace) -> BuildOptions:
     faults = FaultPlan.parse(args.fault_plan) if args.fault_plan else None
     return BuildOptions(
@@ -311,6 +368,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--retries", type=int, default=2,
                    help="retries per directory on transient errors")
     _add_threads(p)
+    _add_obs(p)
     p.set_defaults(func=cmd_trace2index)
 
     p = sub.add_parser("demo-index", help="generate a demo namespace and index it")
@@ -338,6 +396,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "(descent stops there too)")
     _add_threads(p)
     _add_identity(p)
+    _add_obs(p)
     p.set_defaults(func=cmd_query)
 
     p = sub.add_parser("find", help="gufi_find")
@@ -356,6 +415,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "(results are identical; for comparison)")
     _add_threads(p)
     _add_identity(p)
+    _add_obs(p)
     p.set_defaults(func=cmd_find)
 
     p = sub.add_parser("du", help="gufi_du")
@@ -364,12 +424,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tsummary", action="store_true")
     _add_threads(p)
     _add_identity(p)
+    _add_obs(p)
     p.set_defaults(func=cmd_du)
 
     p = sub.add_parser("rollup", help="roll up an index (admin)")
     p.add_argument("index_root")
     p.add_argument("-L", "--limit", type=int, default=None)
     _add_threads(p)
+    _add_obs(p)
     p.set_defaults(func=cmd_rollup)
 
     p = sub.add_parser("unrollup", help="undo one directory's rollup (admin)")
@@ -389,6 +451,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--start", default="/")
     _add_threads(p)
     _add_identity(p)
+    _add_obs(p)
     p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser("search", help="portal search-bar query language")
@@ -402,6 +465,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "(results are identical; for comparison)")
     _add_threads(p)
     _add_identity(p)
+    _add_obs(p)
     p.set_defaults(func=cmd_search)
 
     p = sub.add_parser("split-trace",
@@ -424,7 +488,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    obs_on = _obs_begin(args)
+    try:
+        return args.func(args)
+    finally:
+        if obs_on:
+            _obs_end(args)
 
 
 if __name__ == "__main__":

@@ -50,6 +50,7 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro import obs
 from repro.fs.tree import VFSTree
 from repro.scan.faults import FaultPlan
 from repro.scan.scanners import record_from_inode
@@ -265,6 +266,20 @@ def build_dir_db(
     any point leaves either a complete directory or no visible
     database at all (queries treat a missing ``db.db`` as
     denied-by-absence, never as partial data)."""
+    otr = obs.tracer()
+    if otr.enabled:
+        with otr.span("build.dir", path=stanza.directory.path):
+            return _build_dir_db(index, stanza, opts, faults, journal)
+    return _build_dir_db(index, stanza, opts, faults, journal)
+
+
+def _build_dir_db(
+    index: GUFIIndex,
+    stanza: DirStanza,
+    opts: BuildOptions,
+    faults: FaultPlan | None,
+    journal: BuildJournal | None,
+) -> tuple[int, int]:
     faults = faults if faults is not None else opts.faults
     src_path = stanza.directory.path
     if faults is not None:
@@ -372,6 +387,16 @@ class _BuildState:
             self.journal.close()
         else:
             self.journal.finalize()
+        rec = obs.metrics()
+        if rec.enabled:
+            rec.counter("gufi_build_runs_total")
+            rec.counter("gufi_build_dirs_total", self.dirs)
+            rec.counter("gufi_build_entries_total", self.entries)
+            rec.counter("gufi_build_side_dbs_total", self.side)
+            rec.counter("gufi_build_dirs_skipped_total", self.skipped)
+            rec.counter("gufi_build_retries_total", stats.items_retried)
+            rec.counter("gufi_build_errors_total", len(errors))
+            rec.observe("gufi_build_seconds", elapsed)
         return BuildResult(
             index=self.index,
             seconds=elapsed,
@@ -408,13 +433,16 @@ def build_from_stanzas(
 
     t0 = time.monotonic()
     walker = ParallelTreeWalker(opts.nthreads)
-    try:
-        stats = walker.walk(
-            stanzas, expand, retry=opts.retry, faults=opts.faults
-        )
-    except FatalWalkError:
-        state.journal.close()
-        raise
+    with obs.tracer().span(
+        "build.run", mode="stanzas", dirs=len(stanzas)
+    ):
+        try:
+            stats = walker.walk(
+                stanzas, expand, retry=opts.retry, faults=opts.faults
+            )
+        except FatalWalkError:
+            state.journal.close()
+            raise
     elapsed = time.monotonic() - t0
     errors = [(item.directory.path, exc) for item, exc in stats.errors]
     return state.finish(stats, elapsed, errors)
@@ -461,14 +489,15 @@ def dir2index(
 
     t0 = time.monotonic()
     walker = ParallelTreeWalker(opts.nthreads)
-    try:
-        stats = walker.walk(
-            [posixpath.normpath(top)], expand,
-            retry=opts.retry, faults=opts.faults,
-        )
-    except FatalWalkError:
-        state.journal.close()
-        raise
+    with obs.tracer().span("build.run", mode="dir2index", top=top):
+        try:
+            stats = walker.walk(
+                [posixpath.normpath(top)], expand,
+                retry=opts.retry, faults=opts.faults,
+            )
+        except FatalWalkError:
+            state.journal.close()
+            raise
     elapsed = time.monotonic() - t0
     errors = [(str(item), exc) for item, exc in stats.errors]
     return state.finish(stats, elapsed, errors)

@@ -53,6 +53,7 @@ import threading
 import time
 from dataclasses import dataclass
 
+from repro import obs
 from repro.fs.permissions import (
     ROOT,
     Credentials,
@@ -115,12 +116,28 @@ class QueryResult:
     #: per-thread output files when QuerySpec.output_prefix was used
     output_files: list[str] | None = None
     walk_stats: WalkStats | None = None
+    #: wall-clock seconds spent per SQL stage (T/S/E summed across
+    #: worker threads, J/G once), populated only when the process
+    #: metrics recorder is enabled (see :mod:`repro.obs`)
+    stage_seconds: dict[str, float] | None = None
 
     def scalar(self):
         """Convenience for single-value results."""
         if not self.rows or not self.rows[0]:
             return None
         return self.rows[0][0]
+
+
+def spec_label(spec: QuerySpec) -> str:
+    """Compact one-line description of a spec, for the slow-query log
+    and trace attributes (SQL whitespace-collapsed and truncated)."""
+    parts = []
+    for flag in ("I", "T", "S", "E", "J", "G"):
+        sql = getattr(spec, flag)
+        if sql:
+            sql = " ".join(sql.split())
+            parts.append(f"{flag}={sql[:60]}")
+    return "; ".join(parts) or "<empty spec>"
 
 
 class GUFIQuery:
@@ -192,7 +209,112 @@ class GUFIQuery:
     # ------------------------------------------------------------------
     # Entry points
     # ------------------------------------------------------------------
+    def run(
+        self,
+        spec: QuerySpec,
+        start: str = "/",
+        plan: QueryPlan | None = None,
+    ) -> QueryResult:
+        return self._observed(
+            "query.run", spec, start, lambda otr: self._run_impl(spec, start, plan, otr)
+        )
+
     def run_single(
+        self,
+        spec: QuerySpec,
+        path: str = "/",
+        plan: QueryPlan | None = None,
+    ) -> QueryResult:
+        return self._observed(
+            "query.run_single",
+            spec,
+            path,
+            lambda otr: self._run_single_impl(spec, path, plan),
+        )
+
+    def _observed(self, kind: str, spec: QuerySpec, start: str, impl) -> QueryResult:
+        """Run ``impl`` under the process observability layer: a span
+        covering the whole call, counters folded once from the
+        result's (already lock-free) tallies, per-stage timings, cache
+        hit/miss deltas, and a slow-query log check. With everything
+        disabled this is two attribute checks and a straight call."""
+        rec = obs.metrics()
+        otr = obs.tracer()
+        slow = obs.slow_log()
+        if not (rec.enabled or otr.enabled or slow.enabled):
+            return impl(otr)
+        t0 = time.monotonic()
+        cache_before = self.index.cache.stats() if rec.enabled else None
+        span = otr.start(kind, start=start) if otr.enabled else None
+        result: QueryResult | None = None
+        error: BaseException | None = None
+        try:
+            result = impl(otr)
+            return result
+        except BaseException as exc:
+            error = exc
+            raise
+        finally:
+            elapsed = time.monotonic() - t0
+            if span is not None:
+                otr.end(
+                    span,
+                    rows=len(result.rows) if result is not None else 0,
+                    error=type(error).__name__ if error is not None else None,
+                )
+            if rec.enabled:
+                self._fold_metrics(rec, kind, result, error, elapsed, cache_before)
+            if slow.enabled:
+                slow.record(
+                    elapsed, kind=kind, detail=spec_label(spec), start=start
+                )
+
+    def _fold_metrics(
+        self,
+        rec,
+        kind: str,
+        result: QueryResult | None,
+        error: BaseException | None,
+        elapsed: float,
+        cache_before: dict[str, int],
+    ) -> None:
+        rec.counter("gufi_query_runs_total", kind=kind)
+        rec.observe("gufi_query_seconds", elapsed, kind=kind)
+        if error is not None:
+            rec.counter("gufi_query_failures_total", error=type(error).__name__)
+        if result is not None:
+            rec.counter("gufi_query_rows_total", len(result.rows))
+            rec.counter("gufi_query_dirs_visited_total", result.dirs_visited)
+            rec.counter("gufi_query_dirs_denied_total", result.dirs_denied)
+            rec.counter("gufi_query_dbs_opened_total", result.dbs_opened)
+            rec.counter("gufi_query_dirs_errored_total", result.dirs_errored)
+            rec.counter(
+                "gufi_query_dirs_pruned_total", result.dirs_pruned_by_plan
+            )
+            rec.counter(
+                "gufi_query_attaches_elided_total", result.attaches_elided
+            )
+            stage_seconds = result.stage_seconds or {}
+            for stage in ("T", "S", "E", "J", "G"):
+                rec.counter(
+                    "gufi_query_stage_seconds_total",
+                    stage_seconds.get(stage, 0.0),
+                    stage=stage,
+                )
+        cache_after = self.index.cache.stats()
+        for which in ("meta", "subdir"):
+            rec.counter(
+                "gufi_session_cache_hits_total",
+                cache_after[f"{which}_hits"] - cache_before[f"{which}_hits"],
+                kind=which,
+            )
+            rec.counter(
+                "gufi_session_cache_misses_total",
+                cache_after[f"{which}_misses"] - cache_before[f"{which}_misses"],
+                kind=which,
+            )
+
+    def _run_single_impl(
         self,
         spec: QuerySpec,
         path: str = "/",
@@ -311,11 +433,12 @@ class GUFIQuery:
             dirs_pruned_by_plan=1 if plan_pruned else 0,
         )
 
-    def run(
+    def _run_impl(
         self,
         spec: QuerySpec,
-        start: str = "/",
-        plan: QueryPlan | None = None,
+        start: str,
+        plan: QueryPlan | None,
+        otr,
     ) -> QueryResult:
         t0 = time.monotonic()
         start = "/" + "/".join(p for p in start.split("/") if p)
@@ -326,6 +449,10 @@ class GUFIQuery:
         pool = self.pool
         index = self.index
         creds = self.creds
+        # Stage timings feed QueryResult.stage_seconds; both flags are
+        # read once so the per-directory path tests plain locals.
+        timing = obs.metrics().enabled
+        tracing = otr.enabled
         start_depth = 0 if start == "/" else start.count("/")
         # A plan only matters when there are per-directory stages to
         # skip; with none, the normal path is already minimal.
@@ -358,6 +485,13 @@ class GUFIQuery:
                 return cur.fetchall()
             return []
 
+        def attach_gufi(st: _ThreadState, db_path) -> None:
+            if tracing:
+                with otr.span("query.attach", path=str(db_path)):
+                    dbmod.attach_ro(st.conn, db_path, "gufi", tracer=None)
+            else:
+                dbmod.attach_ro(st.conn, db_path, "gufi", tracer=None)
+
         def children_of(
             source_path: str, meta: DirMeta, rel_depth: int
         ) -> list[str]:
@@ -378,7 +512,7 @@ class GUFIQuery:
                 for name in index.cached_subdir_names(source_path)
             ]
 
-        def expand(source_path: str) -> list[str]:
+        def process_dir(source_path: str) -> list[str]:
             st = thread_state()
             st.ctx.current_path = source_path
             depth = 0 if source_path == "/" else source_path.count("/")
@@ -435,7 +569,7 @@ class GUFIQuery:
                     if stamp is None:
                         return []
                     try:
-                        dbmod.attach_ro(st.conn, db_path, "gufi", tracer=None)
+                        attach_gufi(st, db_path)
                     except sqlite3.DatabaseError:
                         st.errored += 1
                         return []
@@ -466,7 +600,7 @@ class GUFIQuery:
                     # paper's accounting either, because the kernel
                     # refuses the open.
                     try:
-                        dbmod.attach_ro(st.conn, db_path, "gufi", tracer=None)
+                        attach_gufi(st, db_path)
                     except sqlite3.DatabaseError:
                         st.errored += 1
                         return []
@@ -503,13 +637,21 @@ class GUFIQuery:
                     ):
                         st.pruned += 1
                 if run_t:
-                    (n_ts,) = st.conn.execute(
-                        "SELECT COUNT(*) FROM gufi.tsummary"
-                    ).fetchone()
-                    if n_ts:
-                        local_rows.extend(run_sql(st, spec.T))
-                        if not spec.t_no_prune:
-                            pruned = True
+                    tb = time.perf_counter() if timing else 0.0
+                    sp = otr.start("query.sql", stage="T") if tracing else None
+                    try:
+                        (n_ts,) = st.conn.execute(
+                            "SELECT COUNT(*) FROM gufi.tsummary"
+                        ).fetchone()
+                        if n_ts:
+                            local_rows.extend(run_sql(st, spec.T))
+                            if not spec.t_no_prune:
+                                pruned = True
+                    finally:
+                        if sp is not None:
+                            otr.end(sp)
+                        if timing:
+                            st.t_time += time.perf_counter() - tb
                 if not pruned and (run_s or run_e):
                     aliases: list[str] = []
                     if spec.xattrs and run_e:
@@ -518,9 +660,33 @@ class GUFIQuery:
                         )
                     try:
                         if run_s:
-                            local_rows.extend(run_sql(st, spec.S))
+                            tb = time.perf_counter() if timing else 0.0
+                            sp = (
+                                otr.start("query.sql", stage="S")
+                                if tracing
+                                else None
+                            )
+                            try:
+                                local_rows.extend(run_sql(st, spec.S))
+                            finally:
+                                if sp is not None:
+                                    otr.end(sp)
+                                if timing:
+                                    st.s_time += time.perf_counter() - tb
                         if run_e:
-                            local_rows.extend(run_sql(st, spec.E))
+                            tb = time.perf_counter() if timing else 0.0
+                            sp = (
+                                otr.start("query.sql", stage="E")
+                                if tracing
+                                else None
+                            )
+                            try:
+                                local_rows.extend(run_sql(st, spec.E))
+                            finally:
+                                if sp is not None:
+                                    otr.end(sp)
+                                if timing:
+                                    st.e_time += time.perf_counter() - tb
                     finally:
                         if aliases:
                             drop_xattr_views(st.conn, aliases)
@@ -545,6 +711,18 @@ class GUFIQuery:
                 return []
             return children_of(source_path, meta, rel_depth)
 
+        if tracing:
+
+            def expand(source_path: str) -> list[str]:
+                sp = otr.start("query.dir", path=source_path)
+                try:
+                    return process_dir(source_path)
+                finally:
+                    otr.end(sp)
+
+        else:
+            expand = process_dir
+
         walker = ParallelTreeWalker(self.nthreads)
         stats = walker.walk([start], expand)
 
@@ -558,6 +736,10 @@ class GUFIQuery:
         errored = sum(st.errored for st in states)
         plan_pruned = sum(st.pruned for st in states)
         elided = sum(st.elided for st in states)
+        t_time = sum(st.t_time for st in states)
+        s_time = sum(st.s_time for st in states)
+        e_time = sum(st.e_time for st in states)
+        j_time = g_time = 0.0
 
         # ------------------------------------------------------------------
         # Merge phase: J per thread database, then G on the aggregate.
@@ -575,24 +757,43 @@ class GUFIQuery:
                 finally:
                     agg.close()
                 if spec.J:
-                    for st in states:
-                        st.conn.execute(
-                            "ATTACH DATABASE ? AS aggregate", (agg_path,)
-                        )
-                        try:
-                            st.conn.executescript(spec.J)
-                            st.conn.commit()
-                        finally:
-                            st.conn.execute("DETACH DATABASE aggregate")
-                if spec.G:
-                    agg = sqlite3.connect(agg_path)
+                    jb = time.perf_counter() if timing else 0.0
+                    sp = otr.start("query.sql", stage="J") if tracing else None
                     try:
-                        register(agg, QueryContext(users=self.users, groups=self.groups))
-                        cur = agg.execute(spec.G)
-                        if cur.description is not None:
-                            final_rows = rows + cur.fetchall()
+                        for st in states:
+                            st.conn.execute(
+                                "ATTACH DATABASE ? AS aggregate", (agg_path,)
+                            )
+                            try:
+                                st.conn.executescript(spec.J)
+                                st.conn.commit()
+                            finally:
+                                st.conn.execute("DETACH DATABASE aggregate")
                     finally:
-                        agg.close()
+                        if sp is not None:
+                            otr.end(sp)
+                        if timing:
+                            j_time = time.perf_counter() - jb
+                if spec.G:
+                    gb = time.perf_counter() if timing else 0.0
+                    sp = otr.start("query.sql", stage="G") if tracing else None
+                    try:
+                        agg = sqlite3.connect(agg_path)
+                        try:
+                            register(
+                                agg,
+                                QueryContext(users=self.users, groups=self.groups),
+                            )
+                            cur = agg.execute(spec.G)
+                            if cur.description is not None:
+                                final_rows = rows + cur.fetchall()
+                        finally:
+                            agg.close()
+                    finally:
+                        if sp is not None:
+                            otr.end(sp)
+                        if timing:
+                            g_time = time.perf_counter() - gb
         finally:
             # Output files flush (and record) even when J/G raised;
             # states go back to the pool either way.
@@ -623,6 +824,11 @@ class GUFIQuery:
             attaches_elided=elided,
             output_files=sorted(output_files) if output_files else None,
             walk_stats=stats,
+            stage_seconds=(
+                {"T": t_time, "S": s_time, "E": e_time, "J": j_time, "G": g_time}
+                if timing
+                else None
+            ),
         )
 
 

@@ -37,6 +37,7 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro import obs
 from repro.scan.walker import ParallelTreeWalker
 
 from . import db as dbmod
@@ -378,12 +379,24 @@ def rollup(
         return []
 
     walker = ParallelTreeWalker(nthreads)
-    for depth in sorted(dirs_by_depth, reverse=True):
-        result = walker.walk(dirs_by_depth[depth], process)
-        if result.errors:
-            item, exc = result.errors[0]
-            raise RuntimeError(f"rollup failed at {item!r}: {exc}") from exc
+    with obs.tracer().span("rollup.run", start=start):
+        for depth in sorted(dirs_by_depth, reverse=True):
+            result = walker.walk(dirs_by_depth[depth], process)
+            if result.errors:
+                item, exc = result.errors[0]
+                raise RuntimeError(
+                    f"rollup failed at {item!r}: {exc}"
+                ) from exc
     stats.elapsed = time.monotonic() - t0
+    rec = obs.metrics()
+    if rec.enabled:
+        rec.counter("gufi_rollup_runs_total")
+        rec.counter("gufi_rollup_dirs_total", stats.total_dirs)
+        rec.counter("gufi_rollup_rolled_total", stats.rolled)
+        rec.counter("gufi_rollup_blocked_total", stats.blocked_perms, reason="perms")
+        rec.counter("gufi_rollup_blocked_total", stats.blocked_limit, reason="limit")
+        rec.counter("gufi_rollup_blocked_total", stats.blocked_child, reason="child")
+        rec.observe("gufi_rollup_seconds", stats.elapsed)
     return stats
 
 

@@ -18,9 +18,10 @@ from __future__ import annotations
 
 import threading
 import time
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.fs.permissions import Credentials
 
 from .index import GUFIIndex
@@ -150,6 +151,10 @@ class InvocationLog:
     start: str
     at: float
     ok: bool
+    #: wall-clock seconds the invocation took (including failures)
+    elapsed: float = 0.0
+    #: ``"ExcType: message"`` when the invocation raised, else None
+    error: str | None = None
 
 
 class GUFIServer:
@@ -172,17 +177,28 @@ class GUFIServer:
 
     #: warm sessions kept per server (one per distinct credential set)
     SESSION_CACHE_SIZE = 32
+    #: default bound on the in-memory audit log; oldest entries are
+    #: dropped (and counted in ``audit_dropped``) past it
+    AUDIT_LOG_CAP = 10_000
 
     def __init__(
         self,
         index: GUFIIndex,
         identity: IdentityProvider,
         nthreads: int = 8,
+        audit_cap: int | None = None,
     ):
         self.index = index
         self.identity = identity
         self.nthreads = nthreads
-        self.audit_log: list[InvocationLog] = []
+        cap = audit_cap if audit_cap is not None else self.AUDIT_LOG_CAP
+        # Bounded and lock-guarded: concurrent invoke() calls append
+        # from many threads, and an unbounded list would grow without
+        # limit on a long-lived server.
+        self.audit_log: deque[InvocationLog] = deque(maxlen=cap)
+        #: entries evicted from the (full) audit log
+        self.audit_dropped = 0
+        self._audit_lock = threading.Lock()
         self._sessions: OrderedDict[tuple, GUFITools] = OrderedDict()
         self._sessions_lock = threading.Lock()
 
@@ -235,40 +251,76 @@ class GUFIServer:
         and :class:`AuthenticationError` for unknown/disabled users —
         *before* touching the index either way.
         """
-        ok = False
+        t0 = time.perf_counter()
+        error: str | None = None
         try:
-            if tool not in ALLOWED_TOOLS:
-                raise ToolNotAllowed(
-                    f"{tool!r} is not available through the restricted shell"
-                )
-            tools = self._tools_for(username)
-            if tool == "query":
-                spec = kwargs.pop("spec")
-                if not isinstance(spec, QuerySpec):
-                    raise TypeError("query requires a QuerySpec")
-                plan = kwargs.pop("plan", None)
-                result: QueryResult = tools.query.run(spec, start, plan=plan)
-                ok = True
-                return result
-            method = getattr(tools, tool)
-            if tool in ("find",):
-                result = method(
-                    start,
-                    kwargs.pop("filters", None),
-                    planned=kwargs.pop("planned", True),
-                )
-            elif tool in ("ls",):
-                result = method(start, **kwargs)
-            else:
-                result = method(start, **kwargs)
-            ok = True
-            return result
+            with obs.tracer().span("server.invoke", user=username, tool=tool):
+                return self._dispatch(username, tool, start, kwargs)
+        except BaseException as exc:
+            error = f"{type(exc).__name__}: {exc}"
+            raise
         finally:
-            self.audit_log.append(
-                InvocationLog(
-                    username=username, tool=tool, start=start,
-                    at=time.time(), ok=ok,
-                )
+            self._audit(username, tool, start, time.perf_counter() - t0, error)
+
+    def _dispatch(self, username: str, tool: str, start: str, kwargs: dict):
+        if tool not in ALLOWED_TOOLS:
+            raise ToolNotAllowed(
+                f"{tool!r} is not available through the restricted shell"
+            )
+        tools = self._tools_for(username)
+        if tool == "query":
+            spec = kwargs.pop("spec")
+            if not isinstance(spec, QuerySpec):
+                raise TypeError("query requires a QuerySpec")
+            plan = kwargs.pop("plan", None)
+            result: QueryResult = tools.query.run(spec, start, plan=plan)
+            return result
+        method = getattr(tools, tool)
+        if tool in ("find",):
+            return method(
+                start,
+                kwargs.pop("filters", None),
+                planned=kwargs.pop("planned", True),
+            )
+        return method(start, **kwargs)
+
+    def _audit(
+        self,
+        username: str,
+        tool: str,
+        start: str,
+        elapsed: float,
+        error: str | None,
+    ) -> None:
+        entry = InvocationLog(
+            username=username, tool=tool, start=start,
+            at=time.time(), ok=error is None,
+            elapsed=elapsed, error=error,
+        )
+        with self._audit_lock:
+            dropped = (
+                self.audit_log.maxlen is not None
+                and len(self.audit_log) == self.audit_log.maxlen
+            )
+            if dropped:
+                self.audit_dropped += 1
+            self.audit_log.append(entry)
+        rec = obs.metrics()
+        if rec.enabled:
+            rec.counter("gufi_server_invocations_total", tool=tool)
+            if error is not None:
+                rec.counter("gufi_server_invoke_failures_total", tool=tool)
+            if dropped:
+                rec.counter("gufi_server_audit_dropped_total")
+            rec.observe("gufi_server_invoke_seconds", elapsed, user=username)
+        slow = obs.slow_log()
+        if slow.enabled:
+            slow.record(
+                elapsed,
+                kind="server.invoke",
+                detail=tool,
+                start=start,
+                user=username,
             )
 
 

@@ -39,6 +39,8 @@ import tempfile
 import threading
 import weakref
 
+from repro import obs
+
 from .sqlfuncs import QueryContext, register
 
 
@@ -63,6 +65,9 @@ class _ThreadState:
         "errored",
         "pruned",
         "elided",
+        "t_time",
+        "s_time",
+        "e_time",
         "_init_sql",
     )
 
@@ -79,6 +84,11 @@ class _ThreadState:
         self.errored = 0
         self.pruned = 0
         self.elided = 0
+        # per-stage wall-clock accumulators (seconds), filled only
+        # when the process metrics recorder is enabled
+        self.t_time = 0.0
+        self.s_time = 0.0
+        self.e_time = 0.0
         self._init_sql: str | None = None
 
     # ------------------------------------------------------------------
@@ -88,6 +98,7 @@ class _ThreadState:
         self.rows = []
         self.visited = self.denied = self.opened = self.errored = 0
         self.pruned = self.elided = 0
+        self.t_time = self.s_time = self.e_time = 0.0
         # A previous run that died mid-directory (or mid-merge) may
         # have left a database attached; a stale attach would shadow
         # this run's.
@@ -218,9 +229,18 @@ class ThreadStatePool:
             if self._free:
                 st = self._free.pop()
                 self.reused += 1
+                fresh = False
             else:
                 st = self._create_locked()
                 self.created += 1
+                fresh = True
+        rec = obs.metrics()
+        if rec.enabled:
+            rec.counter(
+                "gufi_session_states_created_total"
+                if fresh
+                else "gufi_session_states_reused_total"
+            )
         st.prepare(init_sql, out_path)
         return st
 

@@ -1,0 +1,129 @@
+"""Exporters: Prometheus text, human tables, JSON-lines traces.
+
+Three audiences, three formats:
+
+* **dashboards** — :func:`to_prometheus` renders a
+  :class:`~repro.obs.registry.MetricsSnapshot` in the Prometheus text
+  exposition format (counters, gauges, cumulative ``_bucket``/
+  ``_sum``/``_count`` histogram series), ready to serve or scrape-dump;
+* **humans** — :func:`render_metrics` is the ``repro-gufi ...
+  --metrics`` / ``stats --metrics`` table, and
+  :func:`render_slow_log` the slow-query report;
+* **trace tooling** — :func:`spans_to_jsonl` /
+  :func:`write_trace_jsonl` dump the tracer's ring buffer one JSON
+  object per line (``--trace-out``), each span carrying its
+  trace/span/parent ids so offline tools can rebuild the tree.
+
+CI greps the Prometheus output for the core metric names, so renaming
+a metric is a contract change, not a refactor.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .registry import HistogramSnapshot, MetricsSnapshot
+from .slowlog import SlowQueryLog
+from .spans import Span
+
+
+def _fmt_value(v: float) -> str:
+    if float(v).is_integer():
+        return str(int(v))
+    return repr(float(v))
+
+
+def _fmt_labels(labels: tuple[tuple[str, str], ...], extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def to_prometheus(snapshot: MetricsSnapshot) -> str:
+    """Prometheus text exposition format, series sorted by name."""
+    lines: list[str] = []
+    for (name, labels), value in sorted(snapshot.counters.items()):
+        lines.append(f"{name}{_fmt_labels(labels)} {_fmt_value(value)}")
+    for (name, labels), value in sorted(snapshot.gauges.items()):
+        lines.append(f"{name}{_fmt_labels(labels)} {_fmt_value(value)}")
+    for (name, labels), hist in sorted(snapshot.histograms.items()):
+        cumulative = 0
+        for bound, count in zip(hist.bounds, hist.counts):
+            cumulative += count
+            le = _fmt_labels(labels, f'le="{bound}"')
+            lines.append(f"{name}_bucket{le} {cumulative}")
+        inf = _fmt_labels(labels, 'le="+Inf"')
+        lines.append(f"{name}_bucket{inf} {hist.count}")
+        lines.append(f"{name}_sum{_fmt_labels(labels)} {repr(hist.sum)}")
+        lines.append(f"{name}_count{_fmt_labels(labels)} {hist.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _series_label(name: str, labels: tuple[tuple[str, str], ...]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+def _hist_line(label: str, hist: HistogramSnapshot) -> str:
+    return (
+        f"  {label:<52} n={hist.count:<8} mean={hist.mean * 1e3:9.3f}ms "
+        f"p50={hist.quantile(0.5) * 1e3:9.3f}ms "
+        f"p99={hist.quantile(0.99) * 1e3:9.3f}ms"
+    )
+
+
+def render_metrics(snapshot: MetricsSnapshot, title: str = "gufi metrics") -> str:
+    """The human `gufi stats`-style metrics table."""
+    lines = [title]
+    if snapshot.counters:
+        lines.append("counters:")
+        for (name, labels), value in sorted(snapshot.counters.items()):
+            lines.append(
+                f"  {_series_label(name, labels):<52} {_fmt_value(value):>12}"
+            )
+    if snapshot.gauges:
+        lines.append("gauges:")
+        for (name, labels), value in sorted(snapshot.gauges.items()):
+            lines.append(
+                f"  {_series_label(name, labels):<52} {_fmt_value(value):>12}"
+            )
+    if snapshot.histograms:
+        lines.append("histograms:")
+        for (name, labels), hist in sorted(snapshot.histograms.items()):
+            lines.append(_hist_line(_series_label(name, labels), hist))
+    if len(lines) == 1:
+        lines.append("  (no metrics recorded)")
+    return "\n".join(lines)
+
+
+def spans_to_jsonl(spans: list[Span]) -> str:
+    """One JSON object per line, oldest span first."""
+    return "".join(span.to_json() + "\n" for span in spans)
+
+
+def write_trace_jsonl(path: Path | str, spans: list[Span]) -> int:
+    """Dump spans to ``path``; returns the number written."""
+    Path(path).write_text(spans_to_jsonl(spans), encoding="utf-8")
+    return len(spans)
+
+
+def render_slow_log(log: SlowQueryLog) -> str:
+    """Human-readable slow-query report, slowest first."""
+    entries = log.entries()
+    header = (
+        f"slow queries (threshold {log.threshold_ms}ms, "
+        f"{len(entries)} recorded)"
+    )
+    if not entries:
+        return header + "\n  (none)"
+    lines = [header]
+    for rec in sorted(entries, key=lambda r: -r.elapsed):
+        who = f" user={rec.user}" if rec.user else ""
+        lines.append(
+            f"  {rec.elapsed * 1e3:9.2f}ms {rec.kind:<16} "
+            f"start={rec.start}{who} {rec.detail}"
+        )
+    return "\n".join(lines)

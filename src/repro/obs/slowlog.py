@@ -1,0 +1,96 @@
+"""Slow-query log: capture every operation slower than a threshold.
+
+The paper's evaluation is built around query latency; in production
+the first observability question is always "*which* query was slow".
+This log answers it without storing every invocation: operations whose
+elapsed time clears ``threshold_ms`` are recorded — kind (``query.run``,
+``server.invoke``), a compact description of the work, the start path,
+the caller when known — into a bounded deque, so a runaway workload
+can never exhaust memory through its own diagnostics.
+
+Recording is one GIL-atomic ``deque.append``; the threshold check is a
+single comparison, so leaving a ``record()`` call on the query path
+costs nothing measurable when the log is disabled
+(``threshold_ms is None``). Every recorded entry also bumps the
+``gufi_slow_queries_total`` counter on the process metrics recorder,
+which is how dashboards notice slowness without parsing the log.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SlowQueryRecord:
+    """One over-threshold operation."""
+
+    #: wall-clock completion time (epoch seconds)
+    at: float
+    #: elapsed seconds
+    elapsed: float
+    #: operation kind: "query.run", "query.run_single", "server.invoke"
+    kind: str
+    #: compact description (spec summary, tool name, ...)
+    detail: str
+    #: traversal start path
+    start: str
+    #: authenticated caller, when the operation had one
+    user: str | None = None
+
+
+class SlowQueryLog:
+    """Bounded log of operations slower than ``threshold_ms``.
+
+    ``threshold_ms=None`` disables the log entirely (``enabled`` is
+    False and ``record`` returns immediately); ``0`` records every
+    operation, which the overhead benchmark uses as the worst case.
+    """
+
+    def __init__(self, threshold_ms: float | None = None, cap: int = 512):
+        self.threshold_ms = threshold_ms
+        self.cap = cap
+        self._ring: deque[SlowQueryRecord] = deque(maxlen=cap)
+
+    @property
+    def enabled(self) -> bool:
+        return self.threshold_ms is not None
+
+    def record(
+        self,
+        elapsed_s: float,
+        kind: str,
+        detail: str,
+        start: str = "/",
+        user: str | None = None,
+    ) -> bool:
+        """Record one finished operation if it clears the threshold.
+        Returns True when a record was written."""
+        if self.threshold_ms is None or elapsed_s * 1000.0 < self.threshold_ms:
+            return False
+        self._ring.append(
+            SlowQueryRecord(
+                at=time.time(),
+                elapsed=elapsed_s,
+                kind=kind,
+                detail=detail,
+                start=start,
+                user=user,
+            )
+        )
+        # import at call time: repro.obs imports this module at load
+        from repro import obs
+
+        obs.metrics().counter("gufi_slow_queries_total", kind=kind)
+        return True
+
+    def entries(self) -> list[SlowQueryRecord]:
+        return list(self._ring)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def reset(self) -> None:
+        self._ring.clear()

@@ -37,6 +37,13 @@ completion times (and ``items_per_thread``) count every item a worker
 *handled* — successes and failures alike, since the thread was busy
 either way — while ``items_processed`` counts only successful
 expansions and ``items_errored`` the failures.
+
+Observability: each walk is one ``walker.walk`` span whose context is
+propagated into the worker threads (so spans the ``expand`` callback
+opens nest correctly under the caller's trace), and the merged
+per-thread tallies — including retry attempts that backoff then
+*succeeded*, which no caller-visible error ever reports — are folded
+into the process metrics registry once per walk.
 """
 
 from __future__ import annotations
@@ -47,6 +54,8 @@ import time
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
 from typing import Any, TypeVar
+
+from repro import obs
 
 T = TypeVar("T")
 
@@ -204,7 +213,18 @@ class ParallelTreeWalker:
                     errored[tid] += 1
                     return None
 
+        otr = obs.tracer()
+        walk_span = (
+            otr.start("walker.walk", nthreads=self.nthreads)
+            if otr.enabled
+            else None
+        )
+        # captured on the caller thread so worker spans nest under it
+        span_ctx = otr.current_context() if otr.enabled else None
+
         def worker(tid: int) -> None:
+            if span_ctx is not None:
+                otr.adopt(span_ctx)
             while True:
                 batch = work.get()  # blocks; sentinels wake us to exit
                 if batch is _SENTINEL:
@@ -241,17 +261,26 @@ class ParallelTreeWalker:
             threading.Thread(target=worker, args=(i,), name=f"walker-{i}", daemon=True)
             for i in range(self.nthreads)
         ]
-        for t in threads:
-            t.start()
-        work.join()  # all enqueued batches processed (or dropped on abort)
-        for _ in threads:
-            work.put(_SENTINEL)
-        for t in threads:
-            t.join()
+        try:
+            for t in threads:
+                t.start()
+            work.join()  # all enqueued batches processed (or dropped on abort)
+            for _ in threads:
+                work.put(_SENTINEL)
+            for t in threads:
+                t.join()
 
-        fatal_exc = next((f for f in fatal if f is not None), None)
-        if fatal_exc is not None:
-            raise fatal_exc
+            fatal_exc = next((f for f in fatal if f is not None), None)
+            if fatal_exc is not None:
+                raise fatal_exc
+        finally:
+            if walk_span is not None:
+                otr.end(
+                    walk_span,
+                    items=sum(handled),
+                    errors=sum(errored),
+                    retries=sum(retried),
+                )
 
         stats.elapsed = time.monotonic() - start
         stats.items_processed = sum(handled)
@@ -263,6 +292,13 @@ class ParallelTreeWalker:
         }
         for errs in errors_per_thread:
             stats.errors.extend(errs)
+        rec = obs.metrics()
+        if rec.enabled:
+            rec.counter("gufi_walker_walks_total")
+            rec.counter("gufi_walker_items_total", stats.items_processed)
+            rec.counter("gufi_walker_items_errored_total", stats.items_errored)
+            rec.counter("gufi_walker_retries_total", stats.items_retried)
+            rec.observe("gufi_walker_walk_seconds", stats.elapsed)
         if not collect_errors and stats.errors:
             raise stats.errors[0][1]
         return stats
