@@ -51,6 +51,15 @@ REPS = 7
 #: repeated small queries must be at least this much faster warm
 SMALL_QUERY_TARGET = 3.0
 
+#: --smoke: a small-query speedup may fall at most this fraction below
+#: the recorded baseline ratio before it counts as a regression
+SPEEDUP_TOLERANCE = 0.10
+
+#: --smoke: re-measure still-failing small cases this many times (with
+#: extra repetitions) before declaring a regression — a real one fails
+#: every attempt, scheduler noise does not
+SMOKE_RETRIES = 2
+
 
 def _times(fn, reps: int = REPS) -> list[float]:
     out = []
@@ -61,7 +70,9 @@ def _times(fn, reps: int = REPS) -> list[float]:
     return out
 
 
-def _measure_case(index_root, spec, creds, start: str, single: bool) -> dict:
+def _measure_case(
+    index_root, spec, creds, start: str, single: bool, reps: int = REPS
+) -> dict:
     """Median cold-vs-warm repetition times for one (query, user).
 
     ``single`` uses :meth:`GUFIQuery.run_single` — the per-directory
@@ -83,13 +94,13 @@ def _measure_case(index_root, spec, creds, start: str, single: bool) -> dict:
         finally:
             q.close()
 
-    cold = _times(cold_once)
+    cold = _times(cold_once, reps)
 
     idx = GUFIIndex.open(index_root)
     q = GUFIQuery(idx, creds=creds, nthreads=NTHREADS)
     try:
         exec_query(q)  # untimed warm-up populates pool + caches
-        warm = _times(lambda: exec_query(q))
+        warm = _times(lambda: exec_query(q), reps)
         cache = dict(idx.cache.stats())
     finally:
         q.close()
@@ -102,7 +113,10 @@ def _measure_case(index_root, spec, creds, start: str, single: bool) -> dict:
         "warm_median_s": warm_med,
         "warm_min_s": min(warm),
         "speedup": cold_med / warm_med if warm_med > 0 else float("inf"),
-        "reps": REPS,
+        # min-over-min is far less noisy than median-over-median for
+        # sub-millisecond queries; the --smoke baseline guard uses it
+        "speedup_min": min(cold) / min(warm) if min(warm) > 0 else float("inf"),
+        "reps": reps,
         "cache": cache,
     }
 
@@ -118,13 +132,14 @@ def build_bench_index(tmp_root: Path):
     return ns, built.index
 
 
-def run_hotpath_bench(ns, index) -> dict:
+def hotpath_cases(ns) -> dict:
+    """name -> (spec, creds, start, small_query, single)."""
     root = Credentials(uid=0, gid=0)
     area, policy = next(iter(sorted(ns.area_roots.items())))
     user = Credentials(uid=policy.uid, gid=policy.gid)
     leaf = max(ns.dirs, key=lambda d: (d.count("/"), d))
 
-    cases = {
+    return {
         # full scans: every visible directory is attached either way,
         # so warm wins only the fixed setup — must at least not lose
         "q1_root_full": (Q1_LIST_NAMES, root, "/", False, False),
@@ -136,6 +151,12 @@ def run_hotpath_bench(ns, index) -> dict:
         "q4_root_single": (Q4_DU_TSUMMARY, root, "/", True, True),
         "q1_leaf_subtree": (Q1_LIST_NAMES, root, leaf, True, False),
     }
+
+
+def run_hotpath_bench(ns, index) -> dict:
+    cases = hotpath_cases(ns)
+    leaf = cases["q1_leaf_subtree"][2]
+    user = cases["q1_user_full"][1]
 
     results = {}
     for name, (spec, creds, start, small, single) in cases.items():
@@ -176,6 +197,66 @@ def check_targets(report: dict) -> None:
             )
 
 
+def baseline_failures(
+    report: dict, baseline: dict, tolerance: float = SPEEDUP_TOLERANCE
+) -> dict:
+    """Warm-path guard: the repeated-small-query speedup ratios must
+    stay within ``tolerance`` of the recorded baseline ratios. The
+    comparison uses the min-over-min ratio (``speedup_min``): medians
+    of sub-millisecond repetitions swing far more run-to-run than best
+    times do, and a guard that trips on scheduler noise is useless.
+    Full scans are covered by :func:`check_targets` (warm may not lose
+    to cold past noise); their ratios hover near 1x.
+
+    Returns ``{case name: failure message}`` for cases below the floor.
+    """
+    failures = {}
+    for name, case in report["cases"].items():
+        base = baseline.get("cases", {}).get(name)
+        if base is None or not case.get("small_query"):
+            continue
+        got = case.get("speedup_min", case["speedup"])
+        ref = base.get("speedup_min", base["speedup"])
+        floor = ref * (1.0 - tolerance)
+        if got < floor:
+            failures[name] = (
+                f"{name}: {got:.2f}x < {floor:.2f}x "
+                f"(recorded baseline {ref:.2f}x)"
+            )
+        else:
+            print(
+                f"{name:20s} speedup_min {got:6.2f}x >= "
+                f"{floor:.2f}x floor (baseline {ref:.2f}x) ok"
+            )
+    return failures
+
+
+def smoke_check(ns, index, report: dict, baseline: dict, tolerance: float) -> None:
+    """Assert no warm-path regression, re-measuring failing cases up
+    to :data:`SMOKE_RETRIES` times (with triple the repetitions) so one
+    unlucky scheduling window cannot fail CI — a genuine regression
+    stays below the floor on every attempt."""
+    failures = baseline_failures(report, baseline, tolerance)
+    for attempt in range(SMOKE_RETRIES):
+        if not failures:
+            break
+        cases = hotpath_cases(ns)
+        for name in failures:
+            spec, creds, start, small, single = cases[name]
+            fresh = _measure_case(
+                index.root, spec, creds, start, single, reps=REPS * 3
+            )
+            fresh["small_query"] = small
+            if fresh["speedup_min"] > report["cases"][name]["speedup_min"]:
+                report["cases"][name] = fresh
+        print(f"retry {attempt + 1}: re-measured {sorted(failures)}")
+        failures = baseline_failures(report, baseline, tolerance)
+    assert not failures, (
+        "warm-path regression vs recorded baseline:\n  "
+        + "\n  ".join(failures[name] for name in sorted(failures))
+    )
+
+
 def save_report(report: dict) -> Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     out = RESULTS_DIR / "BENCH_query_hotpath.json"
@@ -191,14 +272,36 @@ def bench_query_hotpath(tmp_path_factory):
     check_targets(report)
 
 
-def main() -> int:
+def main(argv: list[str] | None = None) -> int:
+    import argparse
     import tempfile
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="compare against the recorded BENCH_query_hotpath.json "
+        "instead of overwriting it (CI regression guard)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=SPEEDUP_TOLERANCE,
+        help="allowed fractional drop below baseline speedups (--smoke)",
+    )
+    args = parser.parse_args(argv)
 
     with tempfile.TemporaryDirectory(prefix="gufi_hotpath_") as td:
         ns, index = build_bench_index(Path(td))
         report = run_hotpath_bench(ns, index)
-    print(f"saved {save_report(report)}")
-    check_targets(report)
+        check_targets(report)
+        if args.smoke:
+            baseline_path = RESULTS_DIR / "BENCH_query_hotpath.json"
+            baseline = json.loads(baseline_path.read_text())
+            smoke_check(ns, index, report, baseline, args.tolerance)
+            print("smoke ok: warm-path ratios within tolerance of baseline")
+        else:
+            print(f"saved {save_report(report)}")
     return 0
 
 

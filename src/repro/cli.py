@@ -26,7 +26,8 @@ import sys
 from repro.core.build import BuildOptions, BuildResult, trace2index
 from repro.core.index import GUFIIndex
 from repro.core.plan import QueryPlan
-from repro.core.query import GUFIQuery, QuerySpec
+from repro.core.engine import QueryEngine
+from repro.core.query import QuerySpec
 from repro.core.rollup import rollup, unrollup_dir, visible_db_count
 from repro.core.tools import FindFilters, GUFITools
 from repro.core.tsummary import build_tsummary
@@ -183,7 +184,7 @@ def cmd_query(args: argparse.Namespace) -> int:
             max_level=args.max_level,
             entries_shaped=False,
         )
-    q = GUFIQuery(index, creds=_creds(args), nthreads=args.nthreads)
+    q = QueryEngine(index, creds=_creds(args), nthreads=args.nthreads)
     result = q.run(spec, args.start, plan=plan)
     for row in result.rows:
         print("\t".join("" if v is None else str(v) for v in row))
@@ -292,7 +293,7 @@ def cmd_search(args: argparse.Namespace) -> int:
             )
     else:
         plan = parsed.to_plan()
-    q = GUFIQuery(index, creds=_creds(args), nthreads=args.nthreads)
+    q = QueryEngine(index, creds=_creds(args), nthreads=args.nthreads)
     result = q.run(parsed.to_spec(), args.start, plan=plan)
     for row in sorted(result.rows):
         print("\t".join(str(v) for v in row))

@@ -1,0 +1,60 @@
+"""The layered query engine: traversal / stages / sinks.
+
+Public surface of :mod:`repro.core.engine`:
+
+* :class:`QueryEngine` — the executor; ``run()`` / ``run_single()``
+  accept an optional :class:`ResultSink`;
+* the sink implementations (:class:`MemorySink`,
+  :class:`ThreadFileSink`, :class:`BoundedSink`,
+  :class:`PaginatedSink`, :class:`AggregateDBSink`);
+* the shared datatypes (:class:`QuerySpec`, :class:`QueryResult`,
+  :class:`QueryPermissionError`, :func:`spec_label`);
+* the layer classes themselves (:class:`Traversal`,
+  :class:`StageRunner`, :class:`MergeRunner`) for extension.
+
+:class:`repro.core.query.GUFIQuery` remains the stable facade over
+this engine; import from here when you need sink control or direct
+layer access.
+"""
+
+from .engine import QueryEngine
+from .sinks import (
+    AggregateDBSink,
+    BoundedSink,
+    MemorySink,
+    PaginatedSink,
+    ResultSink,
+    Row,
+    SinkSummary,
+    ThreadFileSink,
+)
+from .stages import MergeRunner, StageRunner
+from .traversal import StageGates, Traversal, normalize_path, path_depth
+from .types import (
+    QueryPermissionError,
+    QueryResult,
+    QuerySpec,
+    spec_label,
+)
+
+__all__ = [
+    "AggregateDBSink",
+    "BoundedSink",
+    "MemorySink",
+    "MergeRunner",
+    "PaginatedSink",
+    "QueryEngine",
+    "QueryPermissionError",
+    "QueryResult",
+    "QuerySpec",
+    "ResultSink",
+    "Row",
+    "SinkSummary",
+    "StageGates",
+    "StageRunner",
+    "ThreadFileSink",
+    "Traversal",
+    "normalize_path",
+    "path_depth",
+    "spec_label",
+]

@@ -1,0 +1,595 @@
+"""The layered parallel query engine (paper §III-C2, ``gufi_query``).
+
+:class:`QueryEngine` wires the three layers together around the shared
+breadth-first walker:
+
+* :mod:`~repro.core.engine.traversal` decides who may go where —
+  permission enforcement, plan gating (including attach elision off
+  the warm DirMeta cache), and descent control;
+* :mod:`~repro.core.engine.stages` executes SQL — attach/detach,
+  cold-path metadata reads, T/S/E with xattr views and per-stage
+  timings, and the J/G merge with its aggregate-database lifecycle;
+* :mod:`~repro.core.engine.sinks` absorb rows — in memory, to
+  per-thread files, bounded/paginated for servers, or into a results
+  database.
+
+Sessions: an engine is a *persistent* handle. Its worker-thread
+connections, registered SQL functions, and scratch directory live in a
+:class:`~repro.core.session.ThreadStatePool` that survives across
+``run()`` calls, and permission metadata comes from the index's
+mtime-validated :class:`~repro.core.index.DirMetaCache` — so repeated
+queries on a warm index skip per-query setup and per-directory summary
+reads. Per-directory accounting (counters, row buffers) is kept in the
+per-thread state and merged once after the walk; the hot path takes no
+locks.
+
+:class:`~repro.core.query.GUFIQuery` remains the stable library facade
+over this engine; consumers that need sink control or layer access use
+the engine directly.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+import time
+from typing import Any, Callable
+
+from repro import obs
+from repro.fs.permissions import (
+    ROOT,
+    Credentials,
+    can_read_dir,
+    can_search_dir,
+)
+from repro.scan.walker import ParallelTreeWalker
+from repro.sim.blktrace import IOTracer
+
+from .. import db as dbmod
+from .. import schema
+from ..index import GUFIIndex
+from ..plan import QueryPlan
+from ..session import ThreadStatePool, _ThreadState
+from ..xattrs import build_xattr_views, drop_xattr_views
+from .sinks import MemorySink, ResultSink, ThreadFileSink
+from .stages import MergeRunner, StageRunner, run_sql
+from .traversal import Traversal, normalize_path, path_depth
+from .types import (
+    QueryPermissionError,
+    QueryResult,
+    QuerySpec,
+    spec_label,
+)
+
+
+class QueryEngine:
+    """Query executor bound to an index, credentials, and a pool size.
+
+    The handle is a *session*: scratch connections and output files
+    persist across :meth:`run` calls (see :mod:`repro.core.session`).
+    Call :meth:`close` (or use the handle as a context manager) for
+    deterministic cleanup; otherwise a GC finalizer reclaims the
+    scratch directory.
+    """
+
+    def __init__(
+        self,
+        index: GUFIIndex,
+        creds: Credentials = ROOT,
+        nthreads: int = 8,
+        tracer: IOTracer | None = None,
+        users: dict[int, str] | None = None,
+        groups: dict[int, str] | None = None,
+    ) -> None:
+        self.index = index
+        self.creds = creds
+        self.nthreads = nthreads
+        self.tracer = tracer
+        # keep these exact dict objects: the pool's QueryContexts alias
+        # them, so in-place updates propagate to live sessions
+        self.users = users if users is not None else {}
+        self.groups = groups if groups is not None else {}
+        self.pool = ThreadStatePool(users=self.users, groups=self.groups)
+
+    def close(self) -> None:
+        """Release the session's pooled connections and scratch files."""
+        self.pool.close()
+
+    def __enter__(self) -> "QueryEngine":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        spec: QuerySpec,
+        start: str = "/",
+        plan: QueryPlan | None = None,
+        sink: ResultSink | None = None,
+    ) -> QueryResult:
+        """Parallel permission-gated descent from ``start``.
+
+        ``sink`` chooses the result path; the default is in-memory
+        rows (or per-thread files when ``spec.output_prefix`` is set,
+        preserving the ``-o`` shorthand)."""
+        sink = self._default_sink(spec) if sink is None else sink
+        sink._claim()
+        return self._observed(
+            "query.run",
+            spec,
+            start,
+            lambda otr: self._run_impl(spec, start, plan, sink, otr),
+        )
+
+    def run_single(
+        self,
+        spec: QuerySpec,
+        path: str = "/",
+        plan: QueryPlan | None = None,
+        sink: ResultSink | None = None,
+    ) -> QueryResult:
+        """Process exactly one directory's database (no descent)."""
+        if sink is None:
+            sink = MemorySink()
+        sink._claim()
+        return self._observed(
+            "query.run_single",
+            spec,
+            path,
+            lambda otr: self._run_single_impl(spec, path, plan, sink),
+        )
+
+    @staticmethod
+    def _default_sink(spec: QuerySpec) -> ResultSink:
+        if spec.output_prefix is not None:
+            return ThreadFileSink(spec.output_prefix)
+        return MemorySink()
+
+    # ------------------------------------------------------------------
+    # Observability wrapper
+    # ------------------------------------------------------------------
+    def _observed(
+        self,
+        kind: str,
+        spec: QuerySpec,
+        start: str,
+        impl: Callable[[Any], QueryResult],
+    ) -> QueryResult:
+        """Run ``impl`` under the process observability layer: a span
+        covering the whole call, counters folded once from the
+        result's (already lock-free) tallies, per-stage timings, cache
+        hit/miss deltas, and a slow-query log check. With everything
+        disabled this is two attribute checks and a straight call."""
+        rec = obs.metrics()
+        otr = obs.tracer()
+        slow = obs.slow_log()
+        if not (rec.enabled or otr.enabled or slow.enabled):
+            return impl(otr)
+        t0 = time.monotonic()
+        cache_before = self.index.cache.stats() if rec.enabled else None
+        span = otr.start(kind, start=start) if otr.enabled else None
+        result: QueryResult | None = None
+        error: BaseException | None = None
+        try:
+            result = impl(otr)
+            return result
+        except BaseException as exc:
+            error = exc
+            raise
+        finally:
+            elapsed = time.monotonic() - t0
+            if span is not None:
+                otr.end(
+                    span,
+                    rows=len(result.rows) if result is not None else 0,
+                    error=type(error).__name__ if error is not None else None,
+                )
+            if rec.enabled:
+                assert cache_before is not None
+                self._fold_metrics(
+                    rec, kind, result, error, elapsed, cache_before
+                )
+            if slow.enabled:
+                slow.record(
+                    elapsed, kind=kind, detail=spec_label(spec), start=start
+                )
+
+    def _fold_metrics(
+        self,
+        rec: Any,
+        kind: str,
+        result: QueryResult | None,
+        error: BaseException | None,
+        elapsed: float,
+        cache_before: dict[str, int],
+    ) -> None:
+        rec.counter("gufi_query_runs_total", kind=kind)
+        rec.observe("gufi_query_seconds", elapsed, kind=kind)
+        if error is not None:
+            rec.counter("gufi_query_failures_total", error=type(error).__name__)
+        if result is not None:
+            rec.counter("gufi_query_rows_total", len(result.rows))
+            rec.counter("gufi_query_dirs_visited_total", result.dirs_visited)
+            rec.counter("gufi_query_dirs_denied_total", result.dirs_denied)
+            rec.counter("gufi_query_dbs_opened_total", result.dbs_opened)
+            rec.counter("gufi_query_dirs_errored_total", result.dirs_errored)
+            rec.counter(
+                "gufi_query_dirs_pruned_total", result.dirs_pruned_by_plan
+            )
+            rec.counter(
+                "gufi_query_attaches_elided_total", result.attaches_elided
+            )
+            stage_seconds = result.stage_seconds or {}
+            for stage in ("T", "S", "E", "J", "G"):
+                rec.counter(
+                    "gufi_query_stage_seconds_total",
+                    stage_seconds.get(stage, 0.0),
+                    stage=stage,
+                )
+        cache_after = self.index.cache.stats()
+        for which in ("meta", "subdir"):
+            rec.counter(
+                "gufi_session_cache_hits_total",
+                cache_after[f"{which}_hits"] - cache_before[f"{which}_hits"],
+                kind=which,
+            )
+            rec.counter(
+                "gufi_session_cache_misses_total",
+                cache_after[f"{which}_misses"]
+                - cache_before[f"{which}_misses"],
+                kind=which,
+            )
+
+    # ------------------------------------------------------------------
+    # Single-directory execution
+    # ------------------------------------------------------------------
+    def _run_single_impl(
+        self,
+        spec: QuerySpec,
+        path: str,
+        plan: QueryPlan | None,
+        sink: ResultSink,
+    ) -> QueryResult:
+        """One directory's database, no descent — what ``gufi_ls`` of
+        a single directory needs. The same permission rules apply:
+        ancestors must be searchable, the directory itself readable.
+
+        Semantics match one directory of :meth:`run`: a missing index
+        directory raises FileNotFoundError; a present-but-corrupt
+        database is *counted* (``dirs_errored``) rather than raised;
+        ``T`` only executes when ``tsummary`` has rows (and then
+        prunes ``S``/``E`` unless ``t_no_prune``); and a plan can skip
+        the ``E`` stage — or the attach — exactly as in the walk."""
+        t0 = time.monotonic()
+        path = normalize_path(path)
+        trav = Traversal(self.index, self.creds, spec, plan, path_depth(path))
+        trav.check_root_reachable(path)
+        db_path = self.index.db_path(path)
+        if not db_path.exists():
+            raise FileNotFoundError(f"no index directory for {path!r}")
+
+        def errored() -> QueryResult:
+            return QueryResult(
+                rows=[],
+                elapsed=time.monotonic() - t0,
+                dirs_visited=0,
+                dirs_denied=0,
+                dbs_opened=0,
+                dirs_errored=1,
+            )
+
+        meta = self.index.cached_dir_meta(path)
+        if meta is None:
+            # db.db exists but cannot be read/parsed: count it, like
+            # the walk path does, instead of raising.
+            return errored()
+        if not can_search_dir(meta.mode, meta.uid, meta.gid, self.creds):
+            raise QueryPermissionError(f"permission denied: {path!r}")
+        if not can_read_dir(meta.mode, meta.uid, meta.gid, self.creds):
+            raise QueryPermissionError(
+                f"permission denied (unreadable): {path!r}"
+            )
+
+        run_e = bool(spec.E)
+        plan_pruned = False
+        if trav.plan is not None:
+            # The single directory sits at level 0 of its own query.
+            process = trav.plan.wants_level(0)
+            run_e = run_e and process and trav.plan.dir_can_match(meta)
+            plan_pruned = (bool(spec.E) and not run_e) or not process
+            if not process or (not run_e and not (spec.T or spec.S)):
+                # No stage needs the database at all.
+                return QueryResult(
+                    rows=[],
+                    elapsed=time.monotonic() - t0,
+                    dirs_visited=1,
+                    dirs_denied=0,
+                    dbs_opened=0,
+                    dirs_pruned_by_plan=1,
+                    attaches_elided=1,
+                )
+
+        index_dir = self.index.index_dir(path)
+        st = self.pool.acquire(spec.I, sink.thread_output_path(0))
+        output_files: list[str] = []
+        try:
+            st.ctx.current_path = path
+            st.ctx.current_depth = path_depth(path)
+            try:
+                dbmod.attach_ro(
+                    st.conn, index_dir / schema.DB_NAME, "gufi", self.tracer
+                )
+            except sqlite3.DatabaseError:
+                return errored()
+            rows: list[tuple] = []
+            aliases: list[str] = []
+            try:
+                t_pruned = False
+                if spec.T:
+                    (n_ts,) = st.conn.execute(
+                        "SELECT COUNT(*) FROM gufi.tsummary"
+                    ).fetchone()
+                    if n_ts:
+                        rows.extend(run_sql(st, spec.T))
+                        if not spec.t_no_prune:
+                            t_pruned = True
+                if not t_pruned:
+                    if spec.xattrs:
+                        aliases = build_xattr_views(
+                            st.conn, index_dir, self.creds, "gufi", self.tracer
+                        )
+                    try:
+                        if spec.S:
+                            rows.extend(run_sql(st, spec.S))
+                        if spec.E and run_e:
+                            rows.extend(run_sql(st, spec.E))
+                    finally:
+                        if spec.xattrs:
+                            drop_xattr_views(st.conn, aliases)
+            finally:
+                st.conn.commit()
+                dbmod.detach(st.conn, "gufi")
+            if rows:
+                sink.emit(st, rows)
+            summary = sink.finish([st])
+        finally:
+            out_path = st.finish_output()
+            if out_path is not None:
+                output_files.append(out_path)
+            self.pool.release([st])
+        return QueryResult(
+            rows=summary.rows,
+            elapsed=time.monotonic() - t0,
+            dirs_visited=1,
+            dirs_denied=0,
+            dbs_opened=1,
+            dirs_pruned_by_plan=1 if plan_pruned else 0,
+            output_files=output_files or None,
+            truncated=summary.truncated,
+        )
+
+    # ------------------------------------------------------------------
+    # Parallel walk execution
+    # ------------------------------------------------------------------
+    def _run_impl(
+        self,
+        spec: QuerySpec,
+        start: str,
+        plan: QueryPlan | None,
+        sink: ResultSink,
+        otr: Any,
+    ) -> QueryResult:
+        t0 = time.monotonic()
+        start = normalize_path(start)
+        start_depth = path_depth(start)
+        trav = Traversal(self.index, self.creds, spec, plan, start_depth)
+        trav.check_root_reachable(start)
+        if not self.index.db_path(start).exists():
+            raise FileNotFoundError(f"no index directory for {start!r}")
+
+        pool = self.pool
+        index = self.index
+        creds = self.creds
+        # Stage timings feed QueryResult.stage_seconds; both flags are
+        # read once so the per-directory path tests plain locals.
+        timing = obs.metrics().enabled
+        tracing = otr.enabled
+        stage = StageRunner(index, spec, self.tracer, otr, timing, tracing)
+        # Thread-ident -> checked-out state, for *this* run only (the
+        # walker creates fresh threads per walk). The lock is taken
+        # once per thread per run — at checkout — never per directory.
+        run_states: dict[int, _ThreadState] = {}
+        checkout_lock = threading.Lock()
+
+        def thread_state() -> _ThreadState:
+            tid = threading.get_ident()
+            st = run_states.get(tid)
+            if st is None:
+                with checkout_lock:
+                    ordinal = len(run_states)
+                    st = pool.acquire(
+                        spec.I, sink.thread_output_path(ordinal)
+                    )
+                    run_states[tid] = st
+            return st
+
+        def process_dir(source_path: str) -> list[str]:
+            st = thread_state()
+            st.ctx.current_path = source_path
+            depth = path_depth(source_path)
+            st.ctx.current_depth = depth
+            rel_depth = depth - start_depth
+            index_dir = index.index_dir(source_path)
+            db_path = index_dir / schema.DB_NAME
+            # Descent-time 'stat': the validated cache answers warm
+            # queries with a dictionary lookup; denied directories are
+            # then skipped without ever attaching their database.
+            meta = index.cache.get_meta(source_path, db_path)
+            attached = False
+            if meta is not None:
+                if not trav.permitted(meta):
+                    st.denied += 1
+                    return []
+                if trav.elide_warm(meta, rel_depth):
+                    # Warm fast path: the cached stats decide
+                    # matchability before any SQLite work. No surviving
+                    # stage needs the database, so the attach is elided
+                    # outright and the walk continues off the cached
+                    # child listing.
+                    st.visited += 1
+                    st.pruned += 1
+                    st.elided += 1
+                    return trav.descend(source_path, meta, rel_depth)
+            t_pruned = False
+            local_rows: list[tuple] = []
+            try:
+                if meta is None:
+                    # Cold path: one attach serves both the permission
+                    # check (reading the summary record) and, if
+                    # allowed, the per-directory queries — then the
+                    # record is published to the cache. The stamp is
+                    # taken before the read so a racing writer
+                    # invalidates conservatively.
+                    stamp = dbmod.file_stamp(db_path)
+                    if stamp is None:
+                        return []
+                    try:
+                        stage.attach(st, db_path)
+                    except sqlite3.DatabaseError:
+                        st.errored += 1
+                        return []
+                    attached = True
+                    try:
+                        meta = stage.read_meta(st)
+                    except sqlite3.DatabaseError:
+                        # A corrupt or truncated shard must not kill
+                        # the whole query: count it and move on (the
+                        # paper's answer to shard damage is the
+                        # periodic rebuild).
+                        st.errored += 1
+                        return []
+                    except Exception:
+                        return []
+                    index.cache.put_meta(source_path, stamp, meta)
+                    if not trav.permitted(meta):
+                        st.denied += 1
+                        return []
+                if not attached:
+                    # Warm, permitted path: attach only now that the
+                    # cached record granted access. A denied user's
+                    # query never pulls the database's pages in the
+                    # paper's accounting either, because the kernel
+                    # refuses the open.
+                    try:
+                        stage.attach(st, db_path)
+                    except sqlite3.DatabaseError:
+                        st.errored += 1
+                        return []
+                    attached = True
+                stage.account_io(st, db_path)
+                st.visited += 1
+                st.opened += 1
+                gates = trav.stage_gates(meta, rel_depth)
+                if gates.plan_pruned:
+                    st.pruned += 1
+                if gates.run_t:
+                    t_pruned = stage.t_stage(st, local_rows)
+                if not t_pruned and (gates.run_s or gates.run_e):
+                    stage.s_e_stages(
+                        st,
+                        index_dir,
+                        creds,
+                        gates.run_s,
+                        gates.run_e,
+                        local_rows,
+                    )
+            finally:
+                if attached:
+                    StageRunner.detach(st)
+            if local_rows:
+                sink.emit(st, local_rows)
+            return trav.descend(
+                source_path, meta, rel_depth, t_pruned=t_pruned
+            )
+
+        expand: Callable[[str], list[str]]
+        if tracing:
+
+            def expand(source_path: str) -> list[str]:
+                sp = otr.start("query.dir", path=source_path)
+                try:
+                    return process_dir(source_path)
+                finally:
+                    otr.end(sp)
+
+        else:
+            expand = process_dir
+
+        walker = ParallelTreeWalker(self.nthreads)
+        stats = walker.walk([start], expand)
+
+        states = list(run_states.values())
+        visited = sum(st.visited for st in states)
+        denied = sum(st.denied for st in states)
+        opened = sum(st.opened for st in states)
+        errored = sum(st.errored for st in states)
+        plan_pruned = sum(st.pruned for st in states)
+        elided = sum(st.elided for st in states)
+        t_time = sum(st.t_time for st in states)
+        s_time = sum(st.s_time for st in states)
+        e_time = sum(st.e_time for st in states)
+
+        # --------------------------------------------------------------
+        # Merge phase: J per thread database, then G on the aggregate.
+        # --------------------------------------------------------------
+        merge = MergeRunner(
+            spec, pool, self.users, self.groups, otr, timing, tracing
+        )
+        try:
+            g_rows = merge.run(states)
+            if g_rows:
+                sink.emit_final(g_rows)
+            summary = sink.finish(states)
+        finally:
+            # Output files flush (and record) even when J/G raised;
+            # states go back to the pool either way.
+            output_files = []
+            for st in states:
+                out_path = st.finish_output()
+                if out_path is not None:
+                    output_files.append(out_path)
+            pool.release(states)
+            merge.cleanup()
+
+        if stats.errors:
+            item, exc = stats.errors[0]
+            raise RuntimeError(f"query failed at {item!r}: {exc}") from exc
+
+        return QueryResult(
+            rows=summary.rows,
+            elapsed=time.monotonic() - t0,
+            dirs_visited=visited,
+            dirs_denied=denied,
+            dbs_opened=opened,
+            dirs_errored=errored,
+            dirs_pruned_by_plan=plan_pruned,
+            attaches_elided=elided,
+            output_files=sorted(output_files) if output_files else None,
+            truncated=summary.truncated,
+            walk_stats=stats,
+            stage_seconds=(
+                {
+                    "T": t_time,
+                    "S": s_time,
+                    "E": e_time,
+                    "J": merge.j_time,
+                    "G": merge.g_time,
+                }
+                if timing
+                else None
+            ),
+        )

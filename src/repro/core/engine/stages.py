@@ -1,0 +1,284 @@
+"""Layer 2 — stages: SQL execution against directory databases.
+
+Everything that needs a SQLite connection lives here: attaching a
+directory's ``db.db`` read-only, reading its summary record on the
+cold path, the per-directory ``T``/``S``/``E`` stages (with the
+per-user xattr views and per-stage wall-clock timings), traced-I/O
+accounting, and the ``J``/``G`` merge phase that owns the run's
+aggregate database lifecycle.
+
+The stage layer is policy-free: it never decides *whether* a stage
+runs (that is :mod:`repro.core.engine.traversal`'s job, expressed as a
+:class:`~repro.core.engine.traversal.StageGates`) nor where rows go
+(:mod:`repro.core.engine.sinks`). It just executes.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.sim.blktrace import IOTracer
+
+from .. import db as dbmod
+from ..index import DirMeta, GUFIIndex
+from ..session import ThreadStatePool, _ThreadState
+from ..sqlfuncs import QueryContext, register
+from ..xattrs import build_xattr_views, drop_xattr_views
+from .types import QuerySpec
+
+
+def run_sql(st: _ThreadState, sql: str) -> list[tuple]:
+    """Execute one stage statement; SELECT rows come back, DML does
+    its work against the thread's scratch database."""
+    cur = st.conn.execute(sql)
+    if cur.description is not None:
+        return cur.fetchall()
+    return []
+
+
+class StageRunner:
+    """One run's per-directory stage executor.
+
+    ``timing`` and ``tracing`` are resolved once per run (both flags
+    are attribute checks on the process observability singletons) so
+    the per-directory path tests plain booleans.
+    """
+
+    def __init__(
+        self,
+        index: GUFIIndex,
+        spec: QuerySpec,
+        tracer: IOTracer | None,
+        otr: Any,
+        timing: bool,
+        tracing: bool,
+    ) -> None:
+        self.index = index
+        self.spec = spec
+        self.tracer = tracer
+        self.otr = otr
+        self.timing = timing
+        self.tracing = tracing
+
+    # ------------------------------------------------------------------
+    # Attach / metadata
+    # ------------------------------------------------------------------
+    def attach(self, st: _ThreadState, db_path: Path) -> None:
+        """Attach a directory database read-only as ``gufi``. Raises
+        ``sqlite3.DatabaseError`` for corrupt/unreadable files."""
+        if self.tracing:
+            with self.otr.span("query.attach", path=str(db_path)):
+                dbmod.attach_ro(st.conn, db_path, "gufi", tracer=None)
+        else:
+            dbmod.attach_ro(st.conn, db_path, "gufi", tracer=None)
+
+    @staticmethod
+    def detach(st: _ThreadState) -> None:
+        st.conn.commit()
+        dbmod.detach(st.conn, "gufi")
+
+    @staticmethod
+    def read_meta(st: _ThreadState) -> DirMeta:
+        """The directory's summary record, via the already-attached
+        database (the cold path's combined permission read)."""
+        return GUFIIndex.read_dir_meta(st.conn, "gufi")
+
+    def account_io(self, st: _ThreadState, db_path: Path) -> None:
+        """Charge the traced-I/O model: entry-level queries read the
+        whole database; summary/tsummary-only queries read just those
+        tables' pages (the schema's headline win)."""
+        if self.tracer is None:
+            return
+        spec = self.spec
+        if spec.E or not (spec.S or spec.T):
+            nbytes = dbmod.db_file_bytes(db_path)
+        else:
+            tables = set()
+            if spec.S:
+                tables.add("summary")
+            if spec.T:
+                tables.add("tsummary")
+            nbytes = dbmod.table_bytes(st.conn, "gufi", tables)
+        self.tracer.record(str(db_path), nbytes)
+
+    # ------------------------------------------------------------------
+    # Per-directory stages
+    # ------------------------------------------------------------------
+    def t_stage(self, st: _ThreadState, rows: list[tuple]) -> bool:
+        """Run ``T`` when the attached directory has tsummary rows.
+        Returns True when the subtree is answered here and descent
+        should prune (Fig 10's 230× query 4)."""
+        spec = self.spec
+        pruned = False
+        tb = time.perf_counter() if self.timing else 0.0
+        sp = self.otr.start("query.sql", stage="T") if self.tracing else None
+        try:
+            (n_ts,) = st.conn.execute(
+                "SELECT COUNT(*) FROM gufi.tsummary"
+            ).fetchone()
+            if n_ts:
+                assert spec.T is not None
+                rows.extend(run_sql(st, spec.T))
+                if not spec.t_no_prune:
+                    pruned = True
+        finally:
+            if sp is not None:
+                self.otr.end(sp)
+            if self.timing:
+                st.t_time += time.perf_counter() - tb
+        return pruned
+
+    def s_e_stages(
+        self,
+        st: _ThreadState,
+        index_dir: Path,
+        creds: Any,
+        run_s: bool,
+        run_e: bool,
+        rows: list[tuple],
+    ) -> None:
+        """Run ``S`` and/or ``E`` (with the per-user xattr views built
+        around ``E`` when the spec asks for them)."""
+        spec = self.spec
+        aliases: list[str] = []
+        if spec.xattrs and run_e:
+            aliases = build_xattr_views(
+                st.conn, index_dir, creds, "gufi", self.tracer
+            )
+        try:
+            if run_s:
+                assert spec.S is not None
+                self._timed_stage(st, "S", spec.S, rows)
+            if run_e:
+                assert spec.E is not None
+                self._timed_stage(st, "E", spec.E, rows)
+        finally:
+            if aliases:
+                drop_xattr_views(st.conn, aliases)
+
+    def _timed_stage(
+        self, st: _ThreadState, stage: str, sql: str, rows: list[tuple]
+    ) -> None:
+        tb = time.perf_counter() if self.timing else 0.0
+        sp = (
+            self.otr.start("query.sql", stage=stage) if self.tracing else None
+        )
+        try:
+            rows.extend(run_sql(st, sql))
+        finally:
+            if sp is not None:
+                self.otr.end(sp)
+            if self.timing:
+                if stage == "S":
+                    st.s_time += time.perf_counter() - tb
+                else:
+                    st.e_time += time.perf_counter() - tb
+
+
+class MergeRunner:
+    """The run's merge phase: ``J`` once per thread database into a
+    shared aggregate database, then ``G`` once against the aggregate.
+
+    Owns the aggregate database's lifecycle: created from the ``I``
+    script, attached per thread for ``J``, queried for ``G`` with the
+    SQL helper functions registered, and unlinked in :meth:`cleanup`
+    (which the engine calls from its ``finally`` so the scratch file
+    never outlives the run, even when a stage raises)."""
+
+    def __init__(
+        self,
+        spec: QuerySpec,
+        pool: ThreadStatePool,
+        users: dict[int, str],
+        groups: dict[int, str],
+        otr: Any,
+        timing: bool,
+        tracing: bool,
+    ) -> None:
+        self.spec = spec
+        self.pool = pool
+        self.users = users
+        self.groups = groups
+        self.otr = otr
+        self.timing = timing
+        self.tracing = tracing
+        self.j_time = 0.0
+        self.g_time = 0.0
+        self._agg_path: str | None = None
+
+    def run(self, states: list[_ThreadState]) -> list[tuple]:
+        """Execute J/G if the spec has them; returns the G rows."""
+        spec = self.spec
+        if not (spec.J or spec.G):
+            return []
+        agg_path = self.pool.aggregate_path()
+        self._agg_path = agg_path
+        agg = sqlite3.connect(agg_path)
+        try:
+            if spec.I:
+                agg.executescript(spec.I)
+            agg.commit()
+        finally:
+            agg.close()
+        if spec.J:
+            self._j_stage(states, agg_path)
+        if spec.G:
+            return self._g_stage(agg_path)
+        return []
+
+    def _j_stage(self, states: list[_ThreadState], agg_path: str) -> None:
+        spec = self.spec
+        jb = time.perf_counter() if self.timing else 0.0
+        sp = self.otr.start("query.sql", stage="J") if self.tracing else None
+        try:
+            for st in states:
+                st.conn.execute(
+                    "ATTACH DATABASE ? AS aggregate", (agg_path,)
+                )
+                try:
+                    assert spec.J is not None
+                    st.conn.executescript(spec.J)
+                    st.conn.commit()
+                finally:
+                    st.conn.execute("DETACH DATABASE aggregate")
+        finally:
+            if sp is not None:
+                self.otr.end(sp)
+            if self.timing:
+                self.j_time = time.perf_counter() - jb
+
+    def _g_stage(self, agg_path: str) -> list[tuple]:
+        spec = self.spec
+        gb = time.perf_counter() if self.timing else 0.0
+        sp = self.otr.start("query.sql", stage="G") if self.tracing else None
+        try:
+            agg = sqlite3.connect(agg_path)
+            try:
+                register(
+                    agg, QueryContext(users=self.users, groups=self.groups)
+                )
+                assert spec.G is not None
+                cur = agg.execute(spec.G)
+                if cur.description is not None:
+                    return cur.fetchall()
+                return []
+            finally:
+                agg.close()
+        finally:
+            if sp is not None:
+                self.otr.end(sp)
+            if self.timing:
+                self.g_time = time.perf_counter() - gb
+
+    def cleanup(self) -> None:
+        """Remove the aggregate database file, if one was created."""
+        if self._agg_path is not None:
+            try:
+                os.unlink(self._agg_path)
+            except OSError:
+                pass
+            self._agg_path = None

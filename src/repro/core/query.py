@@ -1,4 +1,4 @@
-"""The parallel index query engine (paper §III-C2, ``gufi_query``).
+"""The parallel index query interface (paper §III-C2, ``gufi_query``).
 
 A query descends the index breadth-first with a thread pool — each
 directory's database processed by one thread — executing user SQL at
@@ -43,101 +43,45 @@ entirely (``attaches_elided``) and descent continues off the cached
 child listing. The plan's depth window (``-y``/``-z``) bounds which
 levels are processed and how deep the walk descends. Pruning is
 conservative by construction — see :mod:`repro.core.plan`.
+
+Layering: execution lives in :mod:`repro.core.engine`, split into
+traversal (permissions, plan gating, descent), stages (SQL execution,
+merge), and pluggable result sinks. ``GUFIQuery`` is the stable,
+behavior-identical facade over :class:`~repro.core.engine.QueryEngine`
+— same constructor, same ``run``/``run_single`` signatures, same rows
+and counters. Use the engine directly when you need sink control
+(bounded/paginated server responses, results databases) or layer
+access; everything here re-exports from there.
 """
 
 from __future__ import annotations
 
-import os
-import sqlite3
-import threading
-import time
-from dataclasses import dataclass
-
-from repro import obs
-from repro.fs.permissions import (
-    ROOT,
-    Credentials,
-    can_read_dir,
-    can_search_dir,
-)
-from repro.scan.walker import ParallelTreeWalker, WalkStats
+from repro.fs.permissions import ROOT, Credentials
 from repro.sim.blktrace import IOTracer
 
-from . import db as dbmod
-from . import schema
-from .index import DirMeta, GUFIIndex
+from .engine import (
+    QueryEngine,
+    QueryPermissionError,
+    QueryResult,
+    QuerySpec,
+    ResultSink,
+    spec_label,
+)
+from .index import GUFIIndex
 from .plan import QueryPlan
-from .session import ThreadStatePool, _ThreadState
-from .sqlfuncs import QueryContext, register
-from .xattrs import build_xattr_views, drop_xattr_views
 
-
-class QueryPermissionError(PermissionError):
-    """The query root (or an ancestor of it) is not searchable."""
-
-
-@dataclass
-class QuerySpec:
-    """One query, in ``gufi_query`` flag terms."""
-
-    I: str | None = None  # noqa: E741 - matches the tool's flag name
-    T: str | None = None
-    S: str | None = None
-    E: str | None = None
-    J: str | None = None
-    G: str | None = None
-    #: build the per-user temporary xattr views for E queries
-    xattrs: bool = False
-    #: stop T-pruning (process tsummary but keep descending)
-    t_no_prune: bool = False
-    #: stream SELECT rows to per-thread files ``<prefix>.<n>`` instead
-    #: of accumulating them in memory (the real tool's ``-o`` flag,
-    #: for result sets too large to hold). Tab-separated, one row per
-    #: line; QueryResult.rows stays empty for streamed stages.
-    output_prefix: str | None = None
-
-
-@dataclass
-class QueryResult:
-    rows: list[tuple]
-    elapsed: float
-    dirs_visited: int
-    dirs_denied: int
-    dbs_opened: int
-    #: directories skipped because their database was corrupt/unreadable
-    dirs_errored: int = 0
-    #: directories whose stage execution the query plan skipped
-    #: (stats gate proved no row can match, or depth window excluded
-    #: the level)
-    dirs_pruned_by_plan: int = 0
-    #: plan-pruned directories that never attached their database at
-    #: all (warm cache answered permission + matchability)
-    attaches_elided: int = 0
-    #: per-thread output files when QuerySpec.output_prefix was used
-    output_files: list[str] | None = None
-    walk_stats: WalkStats | None = None
-    #: wall-clock seconds spent per SQL stage (T/S/E summed across
-    #: worker threads, J/G once), populated only when the process
-    #: metrics recorder is enabled (see :mod:`repro.obs`)
-    stage_seconds: dict[str, float] | None = None
-
-    def scalar(self):
-        """Convenience for single-value results."""
-        if not self.rows or not self.rows[0]:
-            return None
-        return self.rows[0][0]
-
-
-def spec_label(spec: QuerySpec) -> str:
-    """Compact one-line description of a spec, for the slow-query log
-    and trace attributes (SQL whitespace-collapsed and truncated)."""
-    parts = []
-    for flag in ("I", "T", "S", "E", "J", "G"):
-        sql = getattr(spec, flag)
-        if sql:
-            sql = " ".join(sql.split())
-            parts.append(f"{flag}={sql[:60]}")
-    return "; ".join(parts) or "<empty spec>"
+__all__ = [
+    "GUFIQuery",
+    "QueryPermissionError",
+    "QueryResult",
+    "QuerySpec",
+    "spec_label",
+    "Q1_LIST_NAMES",
+    "Q1_LIST_PATHS",
+    "Q2_DIR_SIZES",
+    "Q3_DU_SUMMARIES",
+    "Q4_DU_TSUMMARY",
+]
 
 
 class GUFIQuery:
@@ -148,6 +92,11 @@ class GUFIQuery:
     Call :meth:`close` (or use the handle as a context manager) for
     deterministic cleanup; otherwise a GC finalizer reclaims the
     scratch directory.
+
+    This is a thin facade over :class:`repro.core.engine.QueryEngine`;
+    the engine's attributes (``index``, ``creds``, ``users``,
+    ``groups``, ``pool``) are exposed as the same objects, so existing
+    callers that reach into them keep working.
     """
 
     def __init__(
@@ -158,678 +107,54 @@ class GUFIQuery:
         tracer: IOTracer | None = None,
         users: dict[int, str] | None = None,
         groups: dict[int, str] | None = None,
-    ):
-        self.index = index
-        self.creds = creds
-        self.nthreads = nthreads
-        self.tracer = tracer
-        # keep these exact dict objects: the pool's QueryContexts alias
-        # them, so in-place updates propagate to live sessions
-        self.users = users if users is not None else {}
-        self.groups = groups if groups is not None else {}
-        self.pool = ThreadStatePool(users=self.users, groups=self.groups)
+    ) -> None:
+        self.engine = QueryEngine(
+            index,
+            creds=creds,
+            nthreads=nthreads,
+            tracer=tracer,
+            users=users,
+            groups=groups,
+        )
+        # Alias the engine's objects (not copies): callers mutate
+        # q.users in place and expect live sessions to see it.
+        self.index = self.engine.index
+        self.creds = self.engine.creds
+        self.nthreads = self.engine.nthreads
+        self.tracer = self.engine.tracer
+        self.users = self.engine.users
+        self.groups = self.engine.groups
+        self.pool = self.engine.pool
 
     def close(self) -> None:
         """Release the session's pooled connections and scratch files."""
-        self.pool.close()
+        self.engine.close()
 
     def __enter__(self) -> "GUFIQuery":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
-    # ------------------------------------------------------------------
-    # Permission helpers
-    # ------------------------------------------------------------------
-    def _read_meta(self, source_path: str) -> DirMeta | None:
-        """The descent-time 'stat' of an index directory: its summary
-        record, via the index's validated cache (untraced — the
-        paper's blktrace accounting also excludes dirent/inode
-        reads)."""
-        return self.index.cached_dir_meta(source_path)
-
-    def _check_root_reachable(self, start: str) -> None:
-        """Every ancestor of the query root must grant search (x) —
-        the kernel's path-walk rule, reproduced for the index. With a
-        warm cache this is one dictionary lookup (plus a validating
-        stat) per ancestor, not one database open per ancestor."""
-        parts = [p for p in start.split("/") if p]
-        cur = ""
-        for part in parts[:-1] if parts else []:
-            cur = f"{cur}/{part}"
-            meta = self._read_meta(cur)
-            if meta is None:
-                raise FileNotFoundError(f"no index directory for {cur!r}")
-            if not can_search_dir(meta.mode, meta.uid, meta.gid, self.creds):
-                raise QueryPermissionError(
-                    f"permission denied traversing {cur!r}"
-                )
-
-    # ------------------------------------------------------------------
-    # Entry points
-    # ------------------------------------------------------------------
     def run(
         self,
         spec: QuerySpec,
         start: str = "/",
         plan: QueryPlan | None = None,
+        sink: ResultSink | None = None,
     ) -> QueryResult:
-        return self._observed(
-            "query.run", spec, start, lambda otr: self._run_impl(spec, start, plan, otr)
-        )
+        """Parallel permission-gated descent from ``start``."""
+        return self.engine.run(spec, start, plan=plan, sink=sink)
 
     def run_single(
         self,
         spec: QuerySpec,
         path: str = "/",
         plan: QueryPlan | None = None,
+        sink: ResultSink | None = None,
     ) -> QueryResult:
-        return self._observed(
-            "query.run_single",
-            spec,
-            path,
-            lambda otr: self._run_single_impl(spec, path, plan),
-        )
-
-    def _observed(self, kind: str, spec: QuerySpec, start: str, impl) -> QueryResult:
-        """Run ``impl`` under the process observability layer: a span
-        covering the whole call, counters folded once from the
-        result's (already lock-free) tallies, per-stage timings, cache
-        hit/miss deltas, and a slow-query log check. With everything
-        disabled this is two attribute checks and a straight call."""
-        rec = obs.metrics()
-        otr = obs.tracer()
-        slow = obs.slow_log()
-        if not (rec.enabled or otr.enabled or slow.enabled):
-            return impl(otr)
-        t0 = time.monotonic()
-        cache_before = self.index.cache.stats() if rec.enabled else None
-        span = otr.start(kind, start=start) if otr.enabled else None
-        result: QueryResult | None = None
-        error: BaseException | None = None
-        try:
-            result = impl(otr)
-            return result
-        except BaseException as exc:
-            error = exc
-            raise
-        finally:
-            elapsed = time.monotonic() - t0
-            if span is not None:
-                otr.end(
-                    span,
-                    rows=len(result.rows) if result is not None else 0,
-                    error=type(error).__name__ if error is not None else None,
-                )
-            if rec.enabled:
-                self._fold_metrics(rec, kind, result, error, elapsed, cache_before)
-            if slow.enabled:
-                slow.record(
-                    elapsed, kind=kind, detail=spec_label(spec), start=start
-                )
-
-    def _fold_metrics(
-        self,
-        rec,
-        kind: str,
-        result: QueryResult | None,
-        error: BaseException | None,
-        elapsed: float,
-        cache_before: dict[str, int],
-    ) -> None:
-        rec.counter("gufi_query_runs_total", kind=kind)
-        rec.observe("gufi_query_seconds", elapsed, kind=kind)
-        if error is not None:
-            rec.counter("gufi_query_failures_total", error=type(error).__name__)
-        if result is not None:
-            rec.counter("gufi_query_rows_total", len(result.rows))
-            rec.counter("gufi_query_dirs_visited_total", result.dirs_visited)
-            rec.counter("gufi_query_dirs_denied_total", result.dirs_denied)
-            rec.counter("gufi_query_dbs_opened_total", result.dbs_opened)
-            rec.counter("gufi_query_dirs_errored_total", result.dirs_errored)
-            rec.counter(
-                "gufi_query_dirs_pruned_total", result.dirs_pruned_by_plan
-            )
-            rec.counter(
-                "gufi_query_attaches_elided_total", result.attaches_elided
-            )
-            stage_seconds = result.stage_seconds or {}
-            for stage in ("T", "S", "E", "J", "G"):
-                rec.counter(
-                    "gufi_query_stage_seconds_total",
-                    stage_seconds.get(stage, 0.0),
-                    stage=stage,
-                )
-        cache_after = self.index.cache.stats()
-        for which in ("meta", "subdir"):
-            rec.counter(
-                "gufi_session_cache_hits_total",
-                cache_after[f"{which}_hits"] - cache_before[f"{which}_hits"],
-                kind=which,
-            )
-            rec.counter(
-                "gufi_session_cache_misses_total",
-                cache_after[f"{which}_misses"] - cache_before[f"{which}_misses"],
-                kind=which,
-            )
-
-    def _run_single_impl(
-        self,
-        spec: QuerySpec,
-        path: str = "/",
-        plan: QueryPlan | None = None,
-    ) -> QueryResult:
-        """Process exactly one directory's database (no descent) —
-        what ``gufi_ls`` of a single directory needs. The same
-        permission rules apply: ancestors must be searchable, the
-        directory itself readable.
-
-        Semantics match one directory of :meth:`run`: a missing index
-        directory raises FileNotFoundError; a present-but-corrupt
-        database is *counted* (``dirs_errored``) rather than raised;
-        ``T`` only executes when ``tsummary`` has rows (and then
-        prunes ``S``/``E`` unless ``t_no_prune``); and a plan can skip
-        the ``E`` stage — or the attach — exactly as in the walk."""
-        t0 = time.monotonic()
-        path = "/" + "/".join(p for p in path.split("/") if p)
-        self._check_root_reachable(path)
-        db_path = self.index.db_path(path)
-        if not db_path.exists():
-            raise FileNotFoundError(f"no index directory for {path!r}")
-
-        def errored() -> QueryResult:
-            return QueryResult(
-                rows=[],
-                elapsed=time.monotonic() - t0,
-                dirs_visited=0,
-                dirs_denied=0,
-                dbs_opened=0,
-                dirs_errored=1,
-            )
-
-        meta = self._read_meta(path)
-        if meta is None:
-            # db.db exists but cannot be read/parsed: count it, like
-            # the walk path does, instead of raising.
-            return errored()
-        if not can_search_dir(meta.mode, meta.uid, meta.gid, self.creds):
-            raise QueryPermissionError(f"permission denied: {path!r}")
-        if not can_read_dir(meta.mode, meta.uid, meta.gid, self.creds):
-            raise QueryPermissionError(f"permission denied (unreadable): {path!r}")
-
-        run_e = bool(spec.E)
-        plan_pruned = False
-        if plan is not None and (spec.T or spec.S or spec.E):
-            # The single directory sits at level 0 of its own query.
-            process = plan.wants_level(0)
-            run_e = run_e and process and plan.dir_can_match(meta)
-            plan_pruned = (bool(spec.E) and not run_e) or not process
-            if not process or (not run_e and not (spec.T or spec.S)):
-                # No stage needs the database at all.
-                return QueryResult(
-                    rows=[],
-                    elapsed=time.monotonic() - t0,
-                    dirs_visited=1,
-                    dirs_denied=0,
-                    dbs_opened=0,
-                    dirs_pruned_by_plan=1,
-                    attaches_elided=1,
-                )
-
-        index_dir = self.index.index_dir(path)
-        st = self.pool.acquire(spec.I, None)
-        try:
-            st.ctx.current_path = path
-            st.ctx.current_depth = 0 if path == "/" else path.count("/")
-            try:
-                dbmod.attach_ro(
-                    st.conn, index_dir / schema.DB_NAME, "gufi", self.tracer
-                )
-            except sqlite3.DatabaseError:
-                return errored()
-            rows: list[tuple] = []
-            aliases: list[str] = []
-            try:
-                t_pruned = False
-                if spec.T:
-                    (n_ts,) = st.conn.execute(
-                        "SELECT COUNT(*) FROM gufi.tsummary"
-                    ).fetchone()
-                    if n_ts:
-                        cur = st.conn.execute(spec.T)
-                        if cur.description is not None:
-                            rows.extend(cur.fetchall())
-                        if not spec.t_no_prune:
-                            t_pruned = True
-                if not t_pruned:
-                    if spec.xattrs:
-                        aliases = build_xattr_views(
-                            st.conn, index_dir, self.creds, "gufi", self.tracer
-                        )
-                    try:
-                        if spec.S:
-                            cur = st.conn.execute(spec.S)
-                            if cur.description is not None:
-                                rows.extend(cur.fetchall())
-                        if spec.E and run_e:
-                            cur = st.conn.execute(spec.E)
-                            if cur.description is not None:
-                                rows.extend(cur.fetchall())
-                    finally:
-                        if spec.xattrs:
-                            drop_xattr_views(st.conn, aliases)
-            finally:
-                st.conn.commit()
-                dbmod.detach(st.conn, "gufi")
-        finally:
-            self.pool.release([st])
-        return QueryResult(
-            rows=rows,
-            elapsed=time.monotonic() - t0,
-            dirs_visited=1,
-            dirs_denied=0,
-            dbs_opened=1,
-            dirs_pruned_by_plan=1 if plan_pruned else 0,
-        )
-
-    def _run_impl(
-        self,
-        spec: QuerySpec,
-        start: str,
-        plan: QueryPlan | None,
-        otr,
-    ) -> QueryResult:
-        t0 = time.monotonic()
-        start = "/" + "/".join(p for p in start.split("/") if p)
-        self._check_root_reachable(start)
-        if not self.index.db_path(start).exists():
-            raise FileNotFoundError(f"no index directory for {start!r}")
-
-        pool = self.pool
-        index = self.index
-        creds = self.creds
-        # Stage timings feed QueryResult.stage_seconds; both flags are
-        # read once so the per-directory path tests plain locals.
-        timing = obs.metrics().enabled
-        tracing = otr.enabled
-        start_depth = 0 if start == "/" else start.count("/")
-        # A plan only matters when there are per-directory stages to
-        # skip; with none, the normal path is already minimal.
-        if plan is not None and not (spec.T or spec.S or spec.E):
-            plan = None
-        # Thread-ident -> checked-out state, for *this* run only (the
-        # walker creates fresh threads per walk). The lock is taken
-        # once per thread per run — at checkout — never per directory.
-        run_states: dict[int, _ThreadState] = {}
-        checkout_lock = threading.Lock()
-
-        def thread_state() -> _ThreadState:
-            tid = threading.get_ident()
-            st = run_states.get(tid)
-            if st is None:
-                with checkout_lock:
-                    ordinal = len(run_states)
-                    out_path = (
-                        f"{spec.output_prefix}.{ordinal}"
-                        if spec.output_prefix is not None
-                        else None
-                    )
-                    st = pool.acquire(spec.I, out_path)
-                    run_states[tid] = st
-            return st
-
-        def run_sql(st: _ThreadState, sql: str) -> list[tuple]:
-            cur = st.conn.execute(sql)
-            if cur.description is not None:
-                return cur.fetchall()
-            return []
-
-        def attach_gufi(st: _ThreadState, db_path) -> None:
-            if tracing:
-                with otr.span("query.attach", path=str(db_path)):
-                    dbmod.attach_ro(st.conn, db_path, "gufi", tracer=None)
-            else:
-                dbmod.attach_ro(st.conn, db_path, "gufi", tracer=None)
-
-        def children_of(
-            source_path: str, meta: DirMeta, rel_depth: int
-        ) -> list[str]:
-            """The directory's plan-gated child work-items. Descent
-            stops below ``max_level``, and a subtree whose tsummary
-            ``maxdepth`` proves it cannot reach ``min_level`` is cut
-            whole."""
-            if plan is not None:
-                sub_max = None
-                stats = meta.stats
-                if stats is not None and stats.maxdepth is not None:
-                    sub_max = stats.maxdepth - start_depth
-                if not plan.descend_allowed(rel_depth, sub_max):
-                    return []
-            prefix = "" if source_path == "/" else source_path
-            return [
-                f"{prefix}/{name}"
-                for name in index.cached_subdir_names(source_path)
-            ]
-
-        def process_dir(source_path: str) -> list[str]:
-            st = thread_state()
-            st.ctx.current_path = source_path
-            depth = 0 if source_path == "/" else source_path.count("/")
-            st.ctx.current_depth = depth
-            rel_depth = depth - start_depth
-            index_dir = index.index_dir(source_path)
-            db_path = index_dir / schema.DB_NAME
-            # Descent-time 'stat': the validated cache answers warm
-            # queries with a dictionary lookup; denied directories are
-            # then skipped without ever attaching their database.
-            meta = index.cache.get_meta(source_path, db_path)
-            attached = False
-            if meta is not None:
-                if not can_search_dir(
-                    meta.mode, meta.uid, meta.gid, creds
-                ) or not can_read_dir(meta.mode, meta.uid, meta.gid, creds):
-                    st.denied += 1
-                    return []
-            # Plan gates. process_level is the -y/-z window (outside
-            # it *no* stage runs); run_e additionally folds in the
-            # stats gate once metadata is at hand.
-            process_level = plan.wants_level(rel_depth) if plan else True
-            if plan is not None and meta is not None:
-                # Warm fast path: the cached stats decide matchability
-                # before any SQLite work. When no surviving stage needs
-                # the database, the attach is elided outright and the
-                # walk continues off the cached child listing.
-                run_e = (
-                    bool(spec.E)
-                    and process_level
-                    and plan.dir_can_match(meta)
-                )
-                if not process_level or (
-                    bool(spec.E) and not run_e
-                ):
-                    if not (process_level and (spec.T or spec.S)):
-                        st.visited += 1
-                        st.pruned += 1
-                        st.elided += 1
-                        if meta.rolledup:
-                            return []
-                        return children_of(source_path, meta, rel_depth)
-            pruned = False
-            local_rows: list[tuple] = []
-            try:
-                if meta is None:
-                    # Cold path: one attach serves both the permission
-                    # check (reading the summary record) and, if
-                    # allowed, the per-directory queries — then the
-                    # record is published to the cache. The stamp is
-                    # taken before the read so a racing writer
-                    # invalidates conservatively.
-                    stamp = dbmod.file_stamp(db_path)
-                    if stamp is None:
-                        return []
-                    try:
-                        attach_gufi(st, db_path)
-                    except sqlite3.DatabaseError:
-                        st.errored += 1
-                        return []
-                    attached = True
-                    try:
-                        meta = index.read_dir_meta(st.conn, "gufi")
-                    except sqlite3.DatabaseError:
-                        # A corrupt or truncated shard must not kill
-                        # the whole query: count it and move on (the
-                        # paper's answer to shard damage is the
-                        # periodic rebuild).
-                        st.errored += 1
-                        return []
-                    except Exception:
-                        return []
-                    index.cache.put_meta(source_path, stamp, meta)
-                    # x on the directory: required to pass through;
-                    # r: to enumerate its contents.
-                    if not can_search_dir(
-                        meta.mode, meta.uid, meta.gid, creds
-                    ) or not can_read_dir(meta.mode, meta.uid, meta.gid, creds):
-                        st.denied += 1
-                        return []
-                if not attached:
-                    # Warm, permitted path: attach only now that the
-                    # cached record granted access. A denied user's
-                    # query never pulls the database's pages in the
-                    # paper's accounting either, because the kernel
-                    # refuses the open.
-                    try:
-                        attach_gufi(st, db_path)
-                    except sqlite3.DatabaseError:
-                        st.errored += 1
-                        return []
-                    attached = True
-                if self.tracer is not None:
-                    # Entry-level queries read the whole database;
-                    # summary/tsummary-only queries read just those
-                    # tables' pages (the schema's headline win).
-                    if spec.E or not (spec.S or spec.T):
-                        nbytes = dbmod.db_file_bytes(db_path)
-                    else:
-                        tables = set()
-                        if spec.S:
-                            tables.add("summary")
-                        if spec.T:
-                            tables.add("tsummary")
-                        nbytes = dbmod.table_bytes(st.conn, "gufi", tables)
-                    self.tracer.record(str(db_path), nbytes)
-                st.visited += 1
-                st.opened += 1
-                # Effective stages for this directory. Outside the
-                # depth window nothing runs; the stats gate (sound
-                # only for entries-shaped E) can further drop E.
-                run_t = bool(spec.T) and process_level
-                run_s = bool(spec.S) and process_level
-                run_e = bool(spec.E) and process_level
-                if plan is not None:
-                    if run_e and not plan.dir_can_match(meta):
-                        run_e = False
-                    if (
-                        (bool(spec.T) and not run_t)
-                        or (bool(spec.S) and not run_s)
-                        or (bool(spec.E) and not run_e)
-                    ):
-                        st.pruned += 1
-                if run_t:
-                    tb = time.perf_counter() if timing else 0.0
-                    sp = otr.start("query.sql", stage="T") if tracing else None
-                    try:
-                        (n_ts,) = st.conn.execute(
-                            "SELECT COUNT(*) FROM gufi.tsummary"
-                        ).fetchone()
-                        if n_ts:
-                            local_rows.extend(run_sql(st, spec.T))
-                            if not spec.t_no_prune:
-                                pruned = True
-                    finally:
-                        if sp is not None:
-                            otr.end(sp)
-                        if timing:
-                            st.t_time += time.perf_counter() - tb
-                if not pruned and (run_s or run_e):
-                    aliases: list[str] = []
-                    if spec.xattrs and run_e:
-                        aliases = build_xattr_views(
-                            st.conn, index_dir, creds, "gufi", self.tracer
-                        )
-                    try:
-                        if run_s:
-                            tb = time.perf_counter() if timing else 0.0
-                            sp = (
-                                otr.start("query.sql", stage="S")
-                                if tracing
-                                else None
-                            )
-                            try:
-                                local_rows.extend(run_sql(st, spec.S))
-                            finally:
-                                if sp is not None:
-                                    otr.end(sp)
-                                if timing:
-                                    st.s_time += time.perf_counter() - tb
-                        if run_e:
-                            tb = time.perf_counter() if timing else 0.0
-                            sp = (
-                                otr.start("query.sql", stage="E")
-                                if tracing
-                                else None
-                            )
-                            try:
-                                local_rows.extend(run_sql(st, spec.E))
-                            finally:
-                                if sp is not None:
-                                    otr.end(sp)
-                                if timing:
-                                    st.e_time += time.perf_counter() - tb
-                    finally:
-                        if aliases:
-                            drop_xattr_views(st.conn, aliases)
-            finally:
-                if attached:
-                    st.conn.commit()
-                    dbmod.detach(st.conn, "gufi")
-            if local_rows:
-                if st.out is not None:
-                    for row in local_rows:
-                        st.out.write(
-                            "\t".join(
-                                "" if v is None else str(v) for v in row
-                            )
-                            + "\n"
-                        )
-                else:
-                    st.rows.extend(local_rows)
-            # Rolled-up databases already contain their whole subtree:
-            # descending would double-count (§III-C3).
-            if pruned or meta.rolledup:
-                return []
-            return children_of(source_path, meta, rel_depth)
-
-        if tracing:
-
-            def expand(source_path: str) -> list[str]:
-                sp = otr.start("query.dir", path=source_path)
-                try:
-                    return process_dir(source_path)
-                finally:
-                    otr.end(sp)
-
-        else:
-            expand = process_dir
-
-        walker = ParallelTreeWalker(self.nthreads)
-        stats = walker.walk([start], expand)
-
-        states = list(run_states.values())
-        rows: list[tuple] = []
-        for st in states:
-            rows.extend(st.rows)
-        visited = sum(st.visited for st in states)
-        denied = sum(st.denied for st in states)
-        opened = sum(st.opened for st in states)
-        errored = sum(st.errored for st in states)
-        plan_pruned = sum(st.pruned for st in states)
-        elided = sum(st.elided for st in states)
-        t_time = sum(st.t_time for st in states)
-        s_time = sum(st.s_time for st in states)
-        e_time = sum(st.e_time for st in states)
-        j_time = g_time = 0.0
-
-        # ------------------------------------------------------------------
-        # Merge phase: J per thread database, then G on the aggregate.
-        # ------------------------------------------------------------------
-        final_rows = rows
-        agg_path: str | None = None
-        try:
-            if spec.J or spec.G:
-                agg_path = pool.aggregate_path()
-                agg = sqlite3.connect(agg_path)
-                try:
-                    if spec.I:
-                        agg.executescript(spec.I)
-                    agg.commit()
-                finally:
-                    agg.close()
-                if spec.J:
-                    jb = time.perf_counter() if timing else 0.0
-                    sp = otr.start("query.sql", stage="J") if tracing else None
-                    try:
-                        for st in states:
-                            st.conn.execute(
-                                "ATTACH DATABASE ? AS aggregate", (agg_path,)
-                            )
-                            try:
-                                st.conn.executescript(spec.J)
-                                st.conn.commit()
-                            finally:
-                                st.conn.execute("DETACH DATABASE aggregate")
-                    finally:
-                        if sp is not None:
-                            otr.end(sp)
-                        if timing:
-                            j_time = time.perf_counter() - jb
-                if spec.G:
-                    gb = time.perf_counter() if timing else 0.0
-                    sp = otr.start("query.sql", stage="G") if tracing else None
-                    try:
-                        agg = sqlite3.connect(agg_path)
-                        try:
-                            register(
-                                agg,
-                                QueryContext(users=self.users, groups=self.groups),
-                            )
-                            cur = agg.execute(spec.G)
-                            if cur.description is not None:
-                                final_rows = rows + cur.fetchall()
-                        finally:
-                            agg.close()
-                    finally:
-                        if sp is not None:
-                            otr.end(sp)
-                        if timing:
-                            g_time = time.perf_counter() - gb
-        finally:
-            # Output files flush (and record) even when J/G raised;
-            # states go back to the pool either way.
-            output_files = []
-            for st in states:
-                out_path = st.finish_output()
-                if out_path is not None:
-                    output_files.append(out_path)
-            pool.release(states)
-            if agg_path is not None:
-                try:
-                    os.unlink(agg_path)
-                except OSError:
-                    pass
-
-        if stats.errors:
-            item, exc = stats.errors[0]
-            raise RuntimeError(f"query failed at {item!r}: {exc}") from exc
-
-        return QueryResult(
-            rows=final_rows,
-            elapsed=time.monotonic() - t0,
-            dirs_visited=visited,
-            dirs_denied=denied,
-            dbs_opened=opened,
-            dirs_errored=errored,
-            dirs_pruned_by_plan=plan_pruned,
-            attaches_elided=elided,
-            output_files=sorted(output_files) if output_files else None,
-            walk_stats=stats,
-            stage_seconds=(
-                {"T": t_time, "S": s_time, "E": e_time, "J": j_time, "G": g_time}
-                if timing
-                else None
-            ),
-        )
+        """Process exactly one directory's database (no descent)."""
+        return self.engine.run_single(spec, path, plan=plan, sink=sink)
 
 
 # ----------------------------------------------------------------------

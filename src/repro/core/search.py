@@ -44,7 +44,8 @@ from dataclasses import dataclass
 
 from .plan import QueryPlan, plan_for
 from .query import QuerySpec
-from .tools import FindFilters, _quote
+from .sqltext import quote_literal
+from .tools import FindFilters
 
 
 class SearchSyntaxError(ValueError):
@@ -105,7 +106,7 @@ class SearchQuery:
         """Compile to the engine's per-directory SQL."""
         where = self.filters.where_clause()
         if self.tag_substring is not None:
-            tag = _quote(f"%{self.tag_substring}%")
+            tag = quote_literal(f"%{self.tag_substring}%")
             cond = f"exattrs LIKE {tag}"
             where = (
                 f"{where} AND {cond}" if where else f" WHERE {cond}"

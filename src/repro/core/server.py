@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from repro import obs
 from repro.fs.permissions import Credentials
 
+from .engine import PaginatedSink, ResultSink
 from .index import GUFIIndex
 from .query import QueryResult, QuerySpec
 from .tools import FindFilters, GUFITools
@@ -155,6 +156,9 @@ class InvocationLog:
     elapsed: float = 0.0
     #: ``"ExcType: message"`` when the invocation raised, else None
     error: str | None = None
+    #: True when the response row cap dropped rows (see
+    #: ``GUFIServer.max_rows``)
+    truncated: bool = False
 
 
 class GUFIServer:
@@ -180,6 +184,13 @@ class GUFIServer:
     #: default bound on the in-memory audit log; oldest entries are
     #: dropped (and counted in ``audit_dropped``) past it
     AUDIT_LOG_CAP = 10_000
+    #: default response row cap: a remote invocation never materialises
+    #: more rows than this (the surplus is counted, the response is
+    #: marked truncated). Pass ``max_rows`` to change it; ``<= 0``
+    #: disables the cap.
+    DEFAULT_MAX_ROWS = 100_000
+    #: page size of the response sink (the portal serves result pages)
+    RESPONSE_PAGE_SIZE = 1_000
 
     def __init__(
         self,
@@ -187,10 +198,15 @@ class GUFIServer:
         identity: IdentityProvider,
         nthreads: int = 8,
         audit_cap: int | None = None,
-    ):
+        max_rows: int | None = None,
+    ) -> None:
         self.index = index
         self.identity = identity
         self.nthreads = nthreads
+        if max_rows is None:
+            max_rows = self.DEFAULT_MAX_ROWS
+        #: effective response row cap (None when disabled)
+        self.max_rows: int | None = max_rows if max_rows > 0 else None
         cap = audit_cap if audit_cap is not None else self.AUDIT_LOG_CAP
         # Bounded and lock-guarded: concurrent invoke() calls append
         # from many threads, and an unbounded list would grow without
@@ -253,16 +269,23 @@ class GUFIServer:
         """
         t0 = time.perf_counter()
         error: str | None = None
+        truncated = False
         try:
             with obs.tracer().span("server.invoke", user=username, tool=tool):
-                return self._dispatch(username, tool, start, kwargs)
+                result = self._dispatch(username, tool, start, kwargs)
+                if isinstance(result, QueryResult):
+                    truncated = result.truncated
+                return result
         except BaseException as exc:
             error = f"{type(exc).__name__}: {exc}"
             raise
         finally:
-            self._audit(username, tool, start, time.perf_counter() - t0, error)
+            self._audit(
+                username, tool, start, time.perf_counter() - t0, error,
+                truncated,
+            )
 
-    def _dispatch(self, username: str, tool: str, start: str, kwargs: dict):
+    def _dispatch(self, username: str, tool: str, start: str, kwargs: dict) -> object:
         if tool not in ALLOWED_TOOLS:
             raise ToolNotAllowed(
                 f"{tool!r} is not available through the restricted shell"
@@ -273,16 +296,34 @@ class GUFIServer:
             if not isinstance(spec, QuerySpec):
                 raise TypeError("query requires a QuerySpec")
             plan = kwargs.pop("plan", None)
-            result: QueryResult = tools.query.run(spec, start, plan=plan)
+            result: QueryResult = tools.query.run(
+                spec, start, plan=plan, sink=self._response_sink()
+            )
             return result
         method = getattr(tools, tool)
-        if tool in ("find",):
+        if tool == "find":
             return method(
                 start,
                 kwargs.pop("filters", None),
                 planned=kwargs.pop("planned", True),
+                sink=self._response_sink(),
             )
+        if tool == "xattr_search":
+            # historical calling convention: the positional ``start``
+            # slot carries the needle (real start comes via kwargs)
+            kwargs.setdefault("sink", self._response_sink())
         return method(start, **kwargs)
+
+    def _response_sink(self) -> ResultSink | None:
+        """A fresh paginated, row-capped sink for one invocation (None
+        when the cap is disabled — the engine then defaults to plain
+        in-memory collection)."""
+        if self.max_rows is None:
+            return None
+        return PaginatedSink(
+            min(self.RESPONSE_PAGE_SIZE, self.max_rows),
+            max_rows=self.max_rows,
+        )
 
     def _audit(
         self,
@@ -291,11 +332,12 @@ class GUFIServer:
         start: str,
         elapsed: float,
         error: str | None,
+        truncated: bool = False,
     ) -> None:
         entry = InvocationLog(
             username=username, tool=tool, start=start,
             at=time.time(), ok=error is None,
-            elapsed=elapsed, error=error,
+            elapsed=elapsed, error=error, truncated=truncated,
         )
         with self._audit_lock:
             dropped = (
@@ -312,6 +354,8 @@ class GUFIServer:
                 rec.counter("gufi_server_invoke_failures_total", tool=tool)
             if dropped:
                 rec.counter("gufi_server_audit_dropped_total")
+            if truncated:
+                rec.counter("gufi_server_rows_truncated_total", tool=tool)
             rec.observe("gufi_server_invoke_seconds", elapsed, user=username)
         slow = obs.slow_log()
         if slow.enabled:
@@ -329,15 +373,15 @@ class QueryPortal:
     parameter-free reports a browser button triggers. Each call
     re-authenticates through the server."""
 
-    def __init__(self, server: GUFIServer):
+    def __init__(self, server: GUFIServer) -> None:
         self.server = server
 
-    def my_largest_files(self, username: str, limit: int = 10):
+    def my_largest_files(self, username: str, limit: int = 10) -> list[tuple]:
         return self.server.invoke(
             username, "largest_files", "/", limit=limit
         )
 
-    def my_recent_files(self, username: str, limit: int = 20):
+    def my_recent_files(self, username: str, limit: int = 20) -> list[tuple]:
         return self.server.invoke(
             username, "recently_modified", "/", limit=limit
         )
@@ -349,7 +393,7 @@ class QueryPortal:
 
     def my_stale_data(
         self, username: str, older_than: int, min_size: int = 0
-    ):
+    ) -> QueryResult:
         creds = self.server.identity.authenticate(username)
         return self.server.invoke(
             username, "find", "/",
@@ -360,7 +404,7 @@ class QueryPortal:
         )
 
     def search(self, username: str, query: str, start: str = "/",
-               now: int | None = None, planned: bool = True):
+               now: int | None = None, planned: bool = True) -> QueryResult:
         """The search bar: parse the portal query language and run it
         with the caller's credentials (see :mod:`repro.core.search`).
         The parsed terms also compile to a summary-statistics query

@@ -1,0 +1,51 @@
+"""SQL text composition helpers shared by every SQL-building module.
+
+The query tools (:mod:`repro.core.tools`), the search-bar compiler
+(:mod:`repro.core.search`), and anything else that assembles
+``gufi_query`` SQL from user input must escape string values the same
+way. Historically :mod:`repro.core.search` reached into
+:mod:`repro.core.tools` for its private ``_quote``; this module is the
+shared, public home for that logic.
+
+Only *literals* are composed here. Structural SQL (identifiers, table
+names) is never built from user input anywhere in the tree — the
+engine's per-directory schema is fixed — so a quoting helper for
+string literals is the entire surface.
+"""
+
+from __future__ import annotations
+
+
+def quote_literal(text: str) -> str:
+    """Escape ``text`` as a single-quoted SQL string literal.
+
+    Follows SQLite's quoting rule: the only character that needs
+    escaping inside a ``'…'`` literal is the single quote itself,
+    doubled. ``%`` and ``_`` are *not* special in a literal (they only
+    matter to ``LIKE`` matching, where the caller decides whether they
+    are wildcards or need an ``ESCAPE`` clause), and backslashes pass
+    through untouched.
+
+    NUL bytes are rejected: ``sqlite3`` refuses statements containing
+    embedded NULs, and silently truncating at the NUL (what C callers
+    historically did) would let ``"secret\\x00' OR 1=1"`` smuggle
+    structure past the escaping. Raising keeps the failure at the
+    composition site, with a clear message.
+    """
+    if "\x00" in text:
+        raise ValueError("SQL string literal cannot contain NUL bytes")
+    return "'" + text.replace("'", "''") + "'"
+
+
+def like_pattern(substring: str) -> str:
+    """Escape ``substring`` for use *inside* a ``LIKE`` pattern whose
+    wildcards the caller adds, using ``\\`` as the escape character
+    (pair with ``ESCAPE '\\'``). ``%``/``_`` in the input match
+    literally instead of acting as wildcards."""
+    out = []
+    for ch in substring:
+        if ch in ("%", "_", "\\"):
+            out.append("\\" + ch)
+        else:
+            out.append(ch)
+    return "".join(out)

@@ -15,8 +15,9 @@ from dataclasses import dataclass, field
 from repro.fs.permissions import ROOT, Credentials
 from repro.sim.blktrace import IOTracer
 
+from .engine import QueryEngine
 from .index import GUFIIndex
-from .query import GUFIQuery, QuerySpec
+from .query import QuerySpec
 
 
 @dataclass
@@ -80,84 +81,89 @@ def collect_stats(
     over ``summary`` rows (directory structure) and one over
     ``pentries`` (entries). Rollup-transparent — rolled-in rows carry
     their original depth."""
-    q = GUFIQuery(index, creds=creds, nthreads=nthreads, tracer=tracer)
-    stats = IndexStats()
-
-    dir_spec = QuerySpec(
-        I="CREATE TABLE d (depth INTEGER, totfiles INTEGER, "
-        "totlinks INTEGER, totsubdirs INTEGER)",
-        S="INSERT INTO d SELECT depth, totfiles, totlinks, totsubdirs "
-        "FROM summary WHERE rectype = 0",
-        J="INSERT INTO aggregate.d SELECT * FROM d",
-        G="SELECT depth, totfiles, totlinks, totsubdirs FROM d",
-    )
-    for depth, totfiles, totlinks, totsubdirs in q.run(dir_spec, start).rows:
-        stats.total_dirs += 1
-        stats.max_depth = max(stats.max_depth, depth)
-        stats.dirs_per_level[depth] = stats.dirs_per_level.get(depth, 0) + 1
-        n_entries = totfiles + totlinks
-        stats.entries_per_level[depth] = (
-            stats.entries_per_level.get(depth, 0) + n_entries
-        )
-        b = _bucket(n_entries)
-        stats.fanout_histogram[b] = stats.fanout_histogram.get(b, 0) + 1
-        if n_entries == 0 and totsubdirs == 0:
-            stats.empty_dirs += 1
-
-    entry_spec = QuerySpec(
-        I="CREATE TABLE e (type TEXT, uid INTEGER, gid INTEGER, "
-        "size INTEGER, n INTEGER)",
-        E="INSERT INTO e SELECT type, uid, gid, TOTAL(size), COUNT(*) "
-        "FROM pentries GROUP BY type, uid, gid",
-        J="INSERT INTO aggregate.e SELECT * FROM e",
-        G="SELECT type, uid, gid, TOTAL(size), SUM(n) FROM e "
-        "GROUP BY type, uid, gid",
-    )
-    for ftype, uid, gid, nbytes, count in q.run(entry_spec, start).rows:
-        nbytes = int(nbytes or 0)
-        count = int(count or 0)
-        if ftype == "f":
-            stats.total_files += count
-        else:
-            stats.total_links += count
-        stats.total_bytes += nbytes
-        stats.bytes_by_uid[uid] = stats.bytes_by_uid.get(uid, 0) + nbytes
-        stats.entries_by_uid[uid] = stats.entries_by_uid.get(uid, 0) + count
-        stats.bytes_by_gid[gid] = stats.bytes_by_gid.get(gid, 0) + nbytes
-
-    size_spec = QuerySpec(
-        I="CREATE TABLE s (bucket INTEGER, n INTEGER)",
-        E=(
-            "INSERT INTO s SELECT "
-            "CASE WHEN size <= 0 THEN 0 ELSE "
-            "CAST(POWER(2, CAST(CEIL(LOG(2, size)) AS INTEGER)) AS INTEGER) "
-            "END, COUNT(*) FROM pentries WHERE type = 'f' GROUP BY 1"
-        ),
-        J="INSERT INTO aggregate.s SELECT * FROM s",
-        G="SELECT bucket, SUM(n) FROM s GROUP BY bucket",
-    )
+    # One engine session for all three passes: the second and third
+    # queries reuse warm thread connections and the DirMeta cache.
+    q = QueryEngine(index, creds=creds, nthreads=nthreads, tracer=tracer)
     try:
-        rows = q.run(size_spec, start).rows
-    except RuntimeError:
-        # SQLite math functions (LOG/POWER/CEIL) are a compile-time
-        # option; fall back to Python-side bucketing.
-        rows = []
-        fallback = QuerySpec(
-            I="CREATE TABLE s (size INTEGER, n INTEGER)",
-            E="INSERT INTO s SELECT size, COUNT(*) FROM pentries "
-            "WHERE type = 'f' GROUP BY size",
-            J="INSERT INTO aggregate.s SELECT * FROM s",
-            G="SELECT size, SUM(n) FROM s GROUP BY size",
+        stats = IndexStats()
+
+        dir_spec = QuerySpec(
+            I="CREATE TABLE d (depth INTEGER, totfiles INTEGER, "
+            "totlinks INTEGER, totsubdirs INTEGER)",
+            S="INSERT INTO d SELECT depth, totfiles, totlinks, totsubdirs "
+            "FROM summary WHERE rectype = 0",
+            J="INSERT INTO aggregate.d SELECT * FROM d",
+            G="SELECT depth, totfiles, totlinks, totsubdirs FROM d",
         )
-        sizes: dict[int, int] = {}
-        for size, n in q.run(fallback, start).rows:
-            b = _bucket(int(size))
-            sizes[b] = sizes.get(b, 0) + int(n)
-        rows = list(sizes.items())
-    for bucket, n in rows:
-        b = int(bucket)
-        stats.size_histogram[b] = stats.size_histogram.get(b, 0) + int(n)
-    return stats
+        for depth, totfiles, totlinks, totsubdirs in q.run(dir_spec, start).rows:
+            stats.total_dirs += 1
+            stats.max_depth = max(stats.max_depth, depth)
+            stats.dirs_per_level[depth] = stats.dirs_per_level.get(depth, 0) + 1
+            n_entries = totfiles + totlinks
+            stats.entries_per_level[depth] = (
+                stats.entries_per_level.get(depth, 0) + n_entries
+            )
+            b = _bucket(n_entries)
+            stats.fanout_histogram[b] = stats.fanout_histogram.get(b, 0) + 1
+            if n_entries == 0 and totsubdirs == 0:
+                stats.empty_dirs += 1
+
+        entry_spec = QuerySpec(
+            I="CREATE TABLE e (type TEXT, uid INTEGER, gid INTEGER, "
+            "size INTEGER, n INTEGER)",
+            E="INSERT INTO e SELECT type, uid, gid, TOTAL(size), COUNT(*) "
+            "FROM pentries GROUP BY type, uid, gid",
+            J="INSERT INTO aggregate.e SELECT * FROM e",
+            G="SELECT type, uid, gid, TOTAL(size), SUM(n) FROM e "
+            "GROUP BY type, uid, gid",
+        )
+        for ftype, uid, gid, nbytes, count in q.run(entry_spec, start).rows:
+            nbytes = int(nbytes or 0)
+            count = int(count or 0)
+            if ftype == "f":
+                stats.total_files += count
+            else:
+                stats.total_links += count
+            stats.total_bytes += nbytes
+            stats.bytes_by_uid[uid] = stats.bytes_by_uid.get(uid, 0) + nbytes
+            stats.entries_by_uid[uid] = stats.entries_by_uid.get(uid, 0) + count
+            stats.bytes_by_gid[gid] = stats.bytes_by_gid.get(gid, 0) + nbytes
+
+        size_spec = QuerySpec(
+            I="CREATE TABLE s (bucket INTEGER, n INTEGER)",
+            E=(
+                "INSERT INTO s SELECT "
+                "CASE WHEN size <= 0 THEN 0 ELSE "
+                "CAST(POWER(2, CAST(CEIL(LOG(2, size)) AS INTEGER)) AS INTEGER) "
+                "END, COUNT(*) FROM pentries WHERE type = 'f' GROUP BY 1"
+            ),
+            J="INSERT INTO aggregate.s SELECT * FROM s",
+            G="SELECT bucket, SUM(n) FROM s GROUP BY bucket",
+        )
+        try:
+            rows = q.run(size_spec, start).rows
+        except RuntimeError:
+            # SQLite math functions (LOG/POWER/CEIL) are a compile-time
+            # option; fall back to Python-side bucketing.
+            rows = []
+            fallback = QuerySpec(
+                I="CREATE TABLE s (size INTEGER, n INTEGER)",
+                E="INSERT INTO s SELECT size, COUNT(*) FROM pentries "
+                "WHERE type = 'f' GROUP BY size",
+                J="INSERT INTO aggregate.s SELECT * FROM s",
+                G="SELECT size, SUM(n) FROM s GROUP BY size",
+            )
+            sizes: dict[int, int] = {}
+            for size, n in q.run(fallback, start).rows:
+                b = _bucket(int(size))
+                sizes[b] = sizes.get(b, 0) + int(n)
+            rows = list(sizes.items())
+        for bucket, n in rows:
+            b = int(bucket)
+            stats.size_histogram[b] = stats.size_histogram.get(b, 0) + int(n)
+        return stats
+    finally:
+        q.close()
 
 
 def render_stats(stats: IndexStats, users: dict[int, str] | None = None) -> str:

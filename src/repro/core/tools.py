@@ -1,4 +1,4 @@
-"""User-facing query tools built on :class:`GUFIQuery`.
+"""User-facing query tools built on the layered query engine.
 
 These reproduce the paper's parallel reimplementations of the classic
 utilities (``gufi_find``, ``gufi_ls``, ``gufi_du``, ``gufi_stats``):
@@ -15,14 +15,11 @@ from dataclasses import dataclass
 from repro.fs.permissions import ROOT, Credentials, format_mode
 from repro.sim.blktrace import IOTracer
 
+from .engine import QueryEngine, ResultSink
 from .index import GUFIIndex
 from .plan import QueryPlan, plan_for
-from .query import GUFIQuery, QueryResult, QuerySpec
-
-
-def _quote(text: str) -> str:
-    """Escape a string literal for embedding in generated SQL."""
-    return "'" + text.replace("'", "''") + "'"
+from .query import QueryResult, QuerySpec
+from .sqltext import quote_literal
 
 
 @dataclass
@@ -50,9 +47,9 @@ class FindFilters:
         conds = []
         if self.name_like is not None:
             # ESCAPE lets glob-translated patterns match literal %/_
-            conds.append(f"name LIKE {_quote(self.name_like)} ESCAPE '\\'")
+            conds.append(f"name LIKE {quote_literal(self.name_like)} ESCAPE '\\'")
         if self.ftype is not None:
-            conds.append(f"type = {_quote(self.ftype)}")
+            conds.append(f"type = {quote_literal(self.ftype)}")
         if self.min_size is not None:
             conds.append(f"size >= {int(self.min_size)}")
         if self.max_size is not None:
@@ -66,7 +63,7 @@ class FindFilters:
         if self.mtime_after is not None:
             conds.append(f"mtime > {int(self.mtime_after)}")
         if self.xattr_name_like is not None:
-            conds.append(f"xattr_names LIKE {_quote(self.xattr_name_like)}")
+            conds.append(f"xattr_names LIKE {quote_literal(self.xattr_name_like)}")
         return (" WHERE " + " AND ".join(conds)) if conds else ""
 
 
@@ -74,11 +71,11 @@ class GUFITools:
     """One handle bundling the common tools for an (index, user).
 
     The handle is a warm *query session*: the underlying
-    :class:`GUFIQuery` keeps its scratch connections and the index's
-    DirMeta cache alive across calls, so repeated invocations (the
-    portal's canned reports, polling dashboards) skip per-query setup.
-    Call :meth:`close` — or use the handle as a context manager — for
-    deterministic cleanup.
+    :class:`~repro.core.engine.QueryEngine` keeps its scratch
+    connections and the index's DirMeta cache alive across calls, so
+    repeated invocations (the portal's canned reports, polling
+    dashboards) skip per-query setup. Call :meth:`close` — or use the
+    handle as a context manager — for deterministic cleanup.
     """
 
     def __init__(
@@ -89,11 +86,14 @@ class GUFITools:
         tracer: IOTracer | None = None,
         users: dict[int, str] | None = None,
         groups: dict[int, str] | None = None,
-    ):
-        self.query = GUFIQuery(
+    ) -> None:
+        self.engine = QueryEngine(
             index, creds=creds, nthreads=nthreads, tracer=tracer,
             users=users, groups=groups,
         )
+        # Historical attribute name; same object (the engine speaks
+        # the full GUFIQuery surface plus sinks).
+        self.query = self.engine
 
     def close(self) -> None:
         self.query.close()
@@ -110,6 +110,7 @@ class GUFITools:
         start: str = "/",
         filters: FindFilters | None = None,
         planned: bool = True,
+        sink: ResultSink | None = None,
     ) -> QueryResult:
         """``gufi_find``: paths of matching entries (and directories
         when no type filter excludes them).
@@ -138,7 +139,7 @@ class GUFITools:
             )
         else:
             plan = None
-        return self.query.run(spec, start, plan=plan)
+        return self.query.run(spec, start, plan=plan, sink=sink)
 
     def ls(self, path: str = "/", long_format: bool = False) -> list[str]:
         """``gufi_ls``: one directory's listing (non-recursive)."""
@@ -190,7 +191,7 @@ class GUFITools:
         parent, _, name = path.rpartition("/")
         spec = QuerySpec(
             E="SELECT name, type, mode, uid, gid, size, mtime, linkname "
-            f"FROM entries WHERE name = {_quote(name)}"
+            f"FROM entries WHERE name = {quote_literal(name)}"
         )
         rows = self.query.run_single(spec, parent or "/").rows
         if not rows:
@@ -280,15 +281,15 @@ class GUFITools:
         return {int(u): int(b) for u, b in self.query.run(spec, start).rows}
 
     def xattr_search(
-        self, needle: str, start: str = "/"
+        self, needle: str, start: str = "/", sink: ResultSink | None = None
     ) -> QueryResult:
         """Find entries whose (accessible) xattr values match —
         Fig 9's scan/stab query shape."""
         spec = QuerySpec(
             E=(
                 "SELECT rpath(dname, d_isroot, name), exattrs FROM xpentries "
-                f"WHERE exattrs LIKE {_quote('%' + needle + '%')}"
+                f"WHERE exattrs LIKE {quote_literal('%' + needle + '%')}"
             ),
             xattrs=True,
         )
-        return self.query.run(spec, start)
+        return self.query.run(spec, start, sink=sink)

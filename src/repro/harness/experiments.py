@@ -20,8 +20,8 @@ import time
 from repro.baselines.brindexer import BrindexerIndex
 from repro.baselines.posix_tools import du_s, find_getfattr, find_ls
 from repro.core.build import BuildOptions, build_from_stanzas, dir2index
+from repro.core.engine import QueryEngine
 from repro.core.query import (
-    GUFIQuery,
     Q1_LIST_NAMES,
     Q2_DIR_SIZES,
     Q3_DU_SUMMARIES,
@@ -98,7 +98,7 @@ def fig1(scale: float = 0.25, nthreads: int = DEFAULT_THREADS) -> ResultTable:
         built = dir2index(ns.tree, tmp, opts=BuildOptions(nthreads=nthreads))
         host = StorageHost(SSDModel(), n_ssds=1)
         tracer = IOTracer()
-        q = GUFIQuery(built.index, nthreads=nthreads, tracer=tracer)
+        q = QueryEngine(built.index, nthreads=nthreads, tracer=tracer)
         find_spec = QuerySpec(
             S="SELECT spath(name, isroot), mode, uid, gid, size FROM summary",
             E="SELECT rpath(dname, d_isroot, name), mode, uid, gid, size, "
@@ -222,7 +222,7 @@ def fig7(
         # run the query once to trace it, then model each (threads,
         # host) point analytically — exactly what Fig 7 plots.
         tracer = IOTracer()
-        q = GUFIQuery(
+        q = QueryEngine(
             built.index, nthreads=DEFAULT_THREADS, tracer=tracer
         )
         q.run(QuerySpec(E="SELECT uid FROM entries"))
@@ -297,7 +297,7 @@ def fig8(
                 label = "MAX" if frac is None else f"limit={limit}"
                 st = rollup(built.index, limit=limit, nthreads=nthreads)
                 rollup_s = st.elapsed
-            q = GUFIQuery(built.index, nthreads=nthreads)
+            q = QueryEngine(built.index, nthreads=nthreads)
             r = q.run(simple_query)
             nbytes = visible_db_bytes(built.index)
             table.add(
@@ -315,7 +315,7 @@ def fig8(
                 # Fig 8c measures straggling across a wide pool: a
                 # separate run with more workers exposes the one-big-
                 # database tail the MAX config suffers.
-                q8 = GUFIQuery(built.index, nthreads=max(8, nthreads))
+                q8 = QueryEngine(built.index, nthreads=max(8, nthreads))
                 r8 = q8.run(simple_query)
                 if r8.walk_stats:
                     completions[tag] = r8.walk_stats.thread_completion_times
@@ -400,7 +400,7 @@ def fig9(
                 mount, "/", "user.ext", file_list=file_list, xargs_parallel=224
             )
             tracer = IOTracer()
-            q = GUFIQuery(built.index, nthreads=nthreads, tracer=tracer)
+            q = QueryEngine(built.index, nthreads=nthreads, tracer=tracer)
             scan_spec = QuerySpec(
                 E="SELECT rpath(dname, d_isroot, name), exattrs FROM xpentries "
                 "WHERE exattrs LIKE '%user.ext%'",
@@ -499,7 +499,7 @@ def fig10(
 
         def gufi_queries(creds: Credentials | None):
             tracer = IOTracer()
-            q = GUFIQuery(
+            q = QueryEngine(
                 built.index,
                 creds=creds if creds is not None else Credentials(uid=0, gid=0),
                 nthreads=nthreads,
@@ -659,7 +659,7 @@ def planning_ablation(
     )
     try:
         built = dir2index(tree, tmp, opts=BuildOptions(nthreads=nthreads))
-        q = GUFIQuery(built.index, nthreads=nthreads)
+        q = QueryEngine(built.index, nthreads=nthreads)
         built.index.invalidate_cache()
         cold_on = q.run(spec, plan=plan)
         built.index.invalidate_cache()
@@ -831,7 +831,7 @@ def build_resilience(
     base = tempfile.mkdtemp(prefix="resilience_")
 
     def query_rows(index) -> list:
-        return sorted(GUFIQuery(index, nthreads=nthreads).run(Q1_LIST_PATHS).rows)
+        return sorted(QueryEngine(index, nthreads=nthreads).run(Q1_LIST_PATHS).rows)
 
     def partials_left(root: str) -> int:
         return sum(

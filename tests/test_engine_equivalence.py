@@ -1,0 +1,228 @@
+"""Facade/engine equivalence: :class:`repro.core.query.GUFIQuery` must
+be a drop-in for :class:`repro.core.engine.QueryEngine` — identical
+rows AND identical counters — across the whole behavior matrix:
+privileged/unprivileged credentials × rollup on/off × plan on/off ×
+streamed vs in-memory sinks. Plus golden invariants on the demo tree
+and a hypothesis property over generated predicates."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import obs
+from repro.core.build import BuildOptions, dir2index
+from repro.core.engine import QueryEngine, ThreadFileSink
+from repro.core.plan import plan_for
+from repro.core.query import GUFIQuery, Q1_LIST_PATHS, QuerySpec
+from repro.core.rollup import rollup
+from repro.core.tools import FindFilters
+from repro.fs.permissions import ROOT
+
+from .conftest import ALICE, CAROL_IN_PROJ, NTHREADS, build_demo_tree
+
+#: the find-shaped query the plan cases gate on (size >= 600 keeps
+#: p.c (700) and d.h5 (900) and prunes most directories)
+FILTERS = FindFilters(min_size=600)
+SPEC = QuerySpec(
+    E="SELECT rpath(dname, d_isroot, name), type, size "
+    f"FROM vrpentries{FILTERS.where_clause()}"
+)
+
+CREDS_CASES = [("root", ROOT), ("alice", ALICE), ("carol", CAROL_IN_PROJ)]
+COUNTERS = (
+    "dirs_visited",
+    "dirs_denied",
+    "dbs_opened",
+    "dirs_errored",
+    "dirs_pruned_by_plan",
+    "attaches_elided",
+)
+
+
+@pytest.fixture(scope="module")
+def plain_index(tmp_path_factory):
+    root = tmp_path_factory.mktemp("eq_plain")
+    return dir2index(
+        build_demo_tree(), root / "idx", opts=BuildOptions(nthreads=NTHREADS)
+    ).index
+
+
+@pytest.fixture(scope="module")
+def rolled_index(tmp_path_factory):
+    root = tmp_path_factory.mktemp("eq_rolled")
+    idx = dir2index(
+        build_demo_tree(), root / "idx", opts=BuildOptions(nthreads=NTHREADS)
+    ).index
+    rollup(idx, nthreads=NTHREADS)
+    return idx
+
+
+def _index_for(request, rolled: bool):
+    return request.getfixturevalue("rolled_index" if rolled else "plain_index")
+
+
+def _counters(result) -> dict:
+    return {name: getattr(result, name) for name in COUNTERS}
+
+
+def _streamed_rows(result) -> list[str]:
+    lines: list[str] = []
+    for path in result.output_files or []:
+        with open(path) as fh:
+            lines.extend(ln.rstrip("\n") for ln in fh)
+    return sorted(lines)
+
+
+@pytest.mark.parametrize(
+    "who,rolled,planned,streamed",
+    [
+        pytest.param(
+            who, rolled, planned, streamed,
+            id=f"{who}-{'rollup' if rolled else 'plain'}"
+            f"-{'plan' if planned else 'noplan'}"
+            f"-{'stream' if streamed else 'memory'}",
+        )
+        for (who, _), rolled, planned, streamed in itertools.product(
+            CREDS_CASES, (False, True), (False, True), (False, True)
+        )
+    ],
+)
+def test_run_matrix(request, tmp_path, who, rolled, planned, streamed):
+    """Same rows, same counters, whichever door you come in through."""
+    index = _index_for(request, rolled)
+    creds = dict(CREDS_CASES)[who]
+    plan = plan_for(FILTERS) if planned else None
+
+    with QueryEngine(index, creds=creds, nthreads=NTHREADS) as warm:
+        # one warm-up pass so both measured runs see the same cache
+        # state (attach elision only fires on cached metadata)
+        warm.run(SPEC, plan=plan)
+
+    with GUFIQuery(index, creds=creds, nthreads=NTHREADS) as facade, \
+            QueryEngine(index, creds=creds, nthreads=NTHREADS) as engine:
+        if streamed:
+            fa = facade.run(
+                SPEC, plan=plan,
+                sink=ThreadFileSink(str(tmp_path / "fa")),
+            )
+            en = engine.run(
+                SPEC, plan=plan,
+                sink=ThreadFileSink(str(tmp_path / "en")),
+            )
+            assert _streamed_rows(fa) == _streamed_rows(en)
+            assert fa.rows == en.rows == []
+        else:
+            fa = facade.run(SPEC, plan=plan)
+            en = engine.run(SPEC, plan=plan)
+            assert sorted(fa.rows) == sorted(en.rows)
+        assert _counters(fa) == _counters(en)
+        assert not fa.truncated and not en.truncated
+
+        # golden invariants, independent of which object ran the query
+        for r in (fa, en):
+            assert r.dirs_visited >= 1
+            assert r.dbs_opened + r.attaches_elided <= r.dirs_visited + 1
+            if who == "root":
+                assert r.dirs_denied == 0
+            if not planned:
+                assert r.dirs_pruned_by_plan == 0
+                assert r.attaches_elided == 0
+                assert r.dbs_opened == r.dirs_visited
+            else:
+                # warm cache + selective predicate: elision must fire
+                assert r.attaches_elided > 0
+                assert r.dirs_pruned_by_plan >= r.attaches_elided
+
+
+@pytest.mark.parametrize("who", [w for w, _ in CREDS_CASES])
+@pytest.mark.parametrize("path", ["/", "/home/bob", "/proj/shared"])
+def test_run_single_matrix(plain_index, who, path):
+    creds = dict(CREDS_CASES)[who]
+    with GUFIQuery(plain_index, creds=creds, nthreads=NTHREADS) as facade, \
+            QueryEngine(plain_index, creds=creds, nthreads=NTHREADS) as engine:
+        try:
+            fa = facade.run_single(SPEC, path)
+            fa_err = None
+        except PermissionError as exc:
+            fa, fa_err = None, str(exc)
+        try:
+            en = engine.run_single(SPEC, path)
+            en_err = None
+        except PermissionError as exc:
+            en, en_err = None, str(exc)
+        assert fa_err == en_err
+        if fa is not None and en is not None:
+            assert sorted(fa.rows) == sorted(en.rows)
+            assert _counters(fa) == _counters(en)
+
+
+def test_rollup_preserves_rows_across_apis(plain_index, rolled_index):
+    """Rollup changes *where* rows come from, never which rows come
+    back — through either API."""
+    for creds in (ROOT, ALICE, CAROL_IN_PROJ):
+        results = []
+        for index in (plain_index, rolled_index):
+            with QueryEngine(index, creds=creds, nthreads=NTHREADS) as q:
+                results.append(sorted(q.run(Q1_LIST_PATHS).rows))
+            with GUFIQuery(index, creds=creds, nthreads=NTHREADS) as q:
+                results.append(sorted(q.run(Q1_LIST_PATHS).rows))
+        assert results[0] == results[1] == results[2] == results[3]
+
+
+def test_stage_timings_populated_identically(plain_index):
+    """With metrics on, both APIs fill stage_seconds for all five
+    stages (J/G real work included via an aggregated spec)."""
+    agg_spec = QuerySpec(
+        I="CREATE TABLE sizes (total_size INTEGER)",
+        S="INSERT INTO sizes SELECT TOTAL(size) FROM summary",
+        E="INSERT INTO sizes SELECT TOTAL(size) FROM pentries",
+        J="INSERT INTO aggregate.sizes SELECT TOTAL(total_size) FROM sizes",
+        G="SELECT TOTAL(total_size) FROM sizes",
+    )
+    with obs.enabled(metrics=True):
+        for cls in (GUFIQuery, QueryEngine):
+            with cls(plain_index, nthreads=NTHREADS) as q:
+                result = q.run(agg_spec)
+                assert result.stage_seconds is not None
+                assert set(result.stage_seconds) == {"T", "S", "E", "J", "G"}
+                assert all(v >= 0.0 for v in result.stage_seconds.values())
+                assert result.scalar() is not None
+                # run_single has no merge phase: S/E fill the scratch
+                # table, G never runs, so no rows — but it is counted
+                single = q.run_single(agg_spec, "/home/bob")
+                assert single.rows == []
+                assert single.dbs_opened == 1
+
+
+def test_stage_timings_absent_when_disabled(plain_index):
+    with QueryEngine(plain_index, nthreads=NTHREADS) as q:
+        assert q.run(SPEC).stage_seconds is None
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    min_size=st.integers(min_value=0, max_value=1200),
+    who=st.sampled_from([w for w, _ in CREDS_CASES]),
+    planned=st.booleans(),
+)
+def test_property_rows_and_counters_agree(
+    plain_index, min_size, who, planned
+):
+    """For any size predicate and any caller, the facade and the
+    engine return the same rows and counters (plan on or off)."""
+    creds = dict(CREDS_CASES)[who]
+    filters = FindFilters(min_size=min_size)
+    spec = QuerySpec(
+        E="SELECT rpath(dname, d_isroot, name), size "
+        f"FROM vrpentries{filters.where_clause()}"
+    )
+    plan = plan_for(filters) if planned else None
+    with GUFIQuery(plain_index, creds=creds, nthreads=NTHREADS) as facade, \
+            QueryEngine(plain_index, creds=creds, nthreads=NTHREADS) as engine:
+        fa = facade.run(spec, plan=plan)
+        en = engine.run(spec, plan=plan)
+        assert sorted(fa.rows) == sorted(en.rows)
+        assert _counters(fa) == _counters(en)

@@ -1,0 +1,80 @@
+"""Unit tests for the shared SQL-literal escaping helpers."""
+
+import sqlite3
+
+import pytest
+
+from repro.core.sqltext import like_pattern, quote_literal
+
+
+def _roundtrip(value: str) -> str:
+    """Embed ``value`` as a literal and read it back through SQLite."""
+    conn = sqlite3.connect(":memory:")
+    try:
+        (out,) = conn.execute(f"SELECT {quote_literal(value)}").fetchone()
+    finally:
+        conn.close()
+    return out
+
+
+class TestQuoteLiteral:
+    def test_plain(self):
+        assert quote_literal("abc") == "'abc'"
+        assert _roundtrip("abc") == "abc"
+
+    def test_empty(self):
+        assert quote_literal("") == "''"
+        assert _roundtrip("") == ""
+
+    def test_single_quote_doubled(self):
+        assert quote_literal("o'brien") == "'o''brien'"
+        assert _roundtrip("o'brien") == "o'brien"
+
+    def test_injection_shape_stays_data(self):
+        evil = "x'; DROP TABLE entries; --"
+        assert _roundtrip(evil) == evil
+
+    def test_percent_and_underscore_pass_through(self):
+        # % and _ are not special inside a string literal — only LIKE
+        # interprets them, and that is like_pattern()'s job.
+        assert quote_literal("100%_done") == "'100%_done'"
+        assert _roundtrip("100%_done") == "100%_done"
+
+    def test_backslash_not_an_escape(self):
+        assert quote_literal("a\\b") == "'a\\b'"
+        assert _roundtrip("a\\b") == "a\\b"
+
+    def test_nul_rejected(self):
+        with pytest.raises(ValueError, match="NUL"):
+            quote_literal("secret\x00' OR 1=1")
+
+    def test_unicode(self):
+        assert _roundtrip("naïve—π") == "naïve—π"
+
+
+class TestLikePattern:
+    def test_wildcards_escaped(self):
+        assert like_pattern("100%") == "100\\%"
+        assert like_pattern("a_b") == "a\\_b"
+        assert like_pattern("a\\b") == "a\\\\b"
+
+    def test_matches_literally(self):
+        conn = sqlite3.connect(":memory:")
+        try:
+            conn.execute("CREATE TABLE t (name TEXT)")
+            conn.executemany(
+                "INSERT INTO t VALUES (?)",
+                [("100%done",), ("100Xdone",), ("a_b",), ("axb",)],
+            )
+            pat = quote_literal(f"%{like_pattern('100%')}%")
+            rows = conn.execute(
+                f"SELECT name FROM t WHERE name LIKE {pat} ESCAPE '\\'"
+            ).fetchall()
+            assert rows == [("100%done",)]
+            pat = quote_literal(like_pattern("a_b"))
+            rows = conn.execute(
+                f"SELECT name FROM t WHERE name LIKE {pat} ESCAPE '\\'"
+            ).fetchall()
+            assert rows == [("a_b",)]
+        finally:
+            conn.close()
