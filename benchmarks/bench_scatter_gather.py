@@ -1,0 +1,195 @@
+"""Scatter-gather scaling: wall-clock speedup versus worker processes.
+
+The thread-parallel engine is GIL-bound, so one process tops out near
+one core of useful work. This bench measures the multi-process path
+(``processes=N``) against the single-process baseline on a
+dataset-2-shaped index, for a full-scan query (Q1) and an aggregated
+J/G query (Q3) — asserting byte-identical rows at every worker count
+before any timing claim is made.
+
+Honesty matters more than the headline number: the report records the
+CPUs this process may actually run on (``cpus``). The >=2.5x-at-4-
+workers target is only asserted when four cores are really available —
+on a one-core sandbox the measured speedup is what it is (about 1x
+minus fork overhead) and is recorded as such.
+
+Run standalone:  PYTHONPATH=src python benchmarks/bench_scatter_gather.py
+CI smoke:        PYTHONPATH=src python benchmarks/bench_scatter_gather.py --smoke
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _bench_helpers import DS2_SCALE, NTHREADS, RESULTS_DIR
+
+from repro import obs
+from repro.core.build import BuildOptions, dir2index
+from repro.core.engine import QueryEngine
+from repro.core.query import Q1_LIST_PATHS, Q3_DU_SUMMARIES
+from repro.gen.datasets import dataset2
+from repro.scan.walker import default_worker_count
+
+REPS = 3
+WORKER_COUNTS = (1, 2, 4)
+#: total thread budget per configuration (split across workers)
+BENCH_NTHREADS = 4
+#: required speedup at 4 workers — asserted only when 4 cores exist
+SPEEDUP_TARGET = 2.5
+SMOKE_SCALE = 0.0002
+
+
+def build_bench_index(tmp_root: Path, scale: float):
+    ns = dataset2(scale=scale)
+    built = dir2index(
+        ns.tree, tmp_root / "idx", opts=BuildOptions(nthreads=NTHREADS)
+    )
+    return ns, built.index
+
+
+def _run_rows(index, spec, processes: int) -> tuple[list, list[float]]:
+    """Sorted rows plus per-repetition wall times at one worker count."""
+    times: list[float] = []
+    with QueryEngine(
+        index, nthreads=BENCH_NTHREADS, processes=processes
+    ) as q:
+        q.run(spec)  # untimed warm-up: cache + pool populated
+        rows = None
+        for _ in range(REPS):
+            t0 = time.monotonic()
+            result = q.run(spec)
+            times.append(time.monotonic() - t0)
+            rows = sorted(result.rows)
+    return rows, times
+
+
+def run_scaling_bench(index, query_name: str, spec) -> dict:
+    """One query across every worker count; identical rows asserted."""
+    baseline_rows = None
+    baseline_median = None
+    workers: dict[str, dict] = {}
+    for procs in WORKER_COUNTS:
+        rows, times = _run_rows(index, spec, procs)
+        if baseline_rows is None:
+            baseline_rows = rows
+            baseline_median = statistics.median(times)
+        assert rows == baseline_rows, (
+            f"{query_name}: rows diverge at processes={procs}"
+        )
+        med = statistics.median(times)
+        workers[str(procs)] = {
+            "median_s": med,
+            "min_s": min(times),
+            "speedup": baseline_median / med if med > 0 else float("inf"),
+        }
+        print(
+            f"{query_name:16s} processes={procs}  median "
+            f"{med * 1e3:8.2f}ms  speedup "
+            f"{workers[str(procs)]['speedup']:5.2f}x"
+        )
+    return {"identical_rows": True, "workers": workers}
+
+
+def scatter_engaged(index) -> dict:
+    """Prove the multi-process path actually ran (not the narrow-tree
+    fallback): one metered run must record a scatter fan-out."""
+    with obs.enabled(metrics=True):
+        with QueryEngine(
+            index, nthreads=BENCH_NTHREADS, processes=max(WORKER_COUNTS)
+        ) as q:
+            q.run(Q1_LIST_PATHS)
+        snap = obs.snapshot()
+    runs = snap.counter("gufi_scatter_runs_total")
+    shards = snap.counter("gufi_scatter_shards_total")
+    assert runs >= 1, "scatter never engaged: tree fell back to 1 process"
+    assert shards >= 2
+    return {"runs": runs, "shards": shards}
+
+
+def run_bench(index, scale: float) -> dict:
+    report = {
+        "scale": scale,
+        "cpus": default_worker_count(),
+        "nthreads": BENCH_NTHREADS,
+        "reps": REPS,
+        "scatter": scatter_engaged(index),
+        "queries": {
+            "q1_list_paths": run_scaling_bench(
+                index, "q1_list_paths", Q1_LIST_PATHS
+            ),
+            "q3_du_summaries": run_scaling_bench(
+                index, "q3_du_summaries", Q3_DU_SUMMARIES
+            ),
+        },
+    }
+    return report
+
+
+def check_targets(report: dict) -> None:
+    cpus = report["cpus"]
+    four = str(max(WORKER_COUNTS))
+    for name, q in report["queries"].items():
+        assert q["identical_rows"]
+        speedup = q["workers"][four]["speedup"]
+        if cpus >= max(WORKER_COUNTS):
+            assert speedup >= SPEEDUP_TARGET, (
+                f"{name}: {speedup:.2f}x at {four} workers "
+                f"(target {SPEEDUP_TARGET}x on {cpus} cpus)"
+            )
+        else:
+            print(
+                f"{name}: {speedup:.2f}x at {four} workers on {cpus} "
+                f"cpu(s) — {SPEEDUP_TARGET}x target not asserted"
+            )
+
+
+def save_report(report: dict) -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_scatter_gather.json"
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    return out
+
+
+def bench_scatter_gather(tmp_path_factory):
+    """pytest entry point (collected by the bench_* convention)."""
+    _, index = build_bench_index(
+        tmp_path_factory.mktemp("scatter"), SMOKE_SCALE
+    )
+    report = run_bench(index, SMOKE_SCALE)
+    check_targets(report)
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+    import tempfile
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small index, correctness-only: identical rows at every "
+        "worker count and a real scatter fan-out; no JSON rewrite",
+    )
+    args = parser.parse_args(argv)
+
+    scale = SMOKE_SCALE if args.smoke else DS2_SCALE
+    with tempfile.TemporaryDirectory(prefix="gufi_scatter_") as td:
+        _, index = build_bench_index(Path(td), scale)
+        report = run_bench(index, scale)
+        check_targets(report)
+        if args.smoke:
+            print("smoke ok: identical rows at every worker count, "
+                  f"{int(report['scatter']['shards'])} shards engaged")
+        else:
+            print(f"saved {save_report(report)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -52,6 +52,12 @@ def _add_threads(p: argparse.ArgumentParser) -> None:
                    help="worker threads (the paper's -n flag)")
 
 
+def _add_processes(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--processes", type=int, default=1,
+                   help="worker processes for scatter-gather execution "
+                        "(1 = single-process)")
+
+
 def _add_obs(p: argparse.ArgumentParser) -> None:
     p.add_argument("--metrics", action="store_true",
                    help="record process metrics and print the table on exit")
@@ -184,7 +190,8 @@ def cmd_query(args: argparse.Namespace) -> int:
             max_level=args.max_level,
             entries_shaped=False,
         )
-    q = QueryEngine(index, creds=_creds(args), nthreads=args.nthreads)
+    q = QueryEngine(index, creds=_creds(args), nthreads=args.nthreads,
+                    processes=args.processes)
     result = q.run(spec, args.start, plan=plan)
     for row in result.rows:
         print("\t".join("" if v is None else str(v) for v in row))
@@ -202,7 +209,8 @@ def cmd_query(args: argparse.Namespace) -> int:
 
 def cmd_find(args: argparse.Namespace) -> int:
     index = GUFIIndex.open(args.index_root)
-    tools = GUFITools(index, creds=_creds(args), nthreads=args.nthreads)
+    tools = GUFITools(index, creds=_creds(args), nthreads=args.nthreads,
+                      processes=args.processes)
     filters = FindFilters(
         name_like=args.name, ftype=args.type,
         min_size=args.min_size, max_size=args.max_size,
@@ -396,6 +404,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="process only dirs <= this level below start "
                         "(descent stops there too)")
     _add_threads(p)
+    _add_processes(p)
     _add_identity(p)
     _add_obs(p)
     p.set_defaults(func=cmd_query)
@@ -415,6 +424,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable summary-statistics pruning "
                         "(results are identical; for comparison)")
     _add_threads(p)
+    _add_processes(p)
     _add_identity(p)
     _add_obs(p)
     p.set_defaults(func=cmd_find)

@@ -10,7 +10,9 @@ Public surface of :mod:`repro.core.engine`:
 * the shared datatypes (:class:`QuerySpec`, :class:`QueryResult`,
   :class:`QueryPermissionError`, :func:`spec_label`);
 * the layer classes themselves (:class:`Traversal`,
-  :class:`StageRunner`, :class:`MergeRunner`) for extension.
+  :class:`StageRunner`, :class:`MergeRunner`) for extension;
+* :class:`ScatterGatherEngine` / :func:`plan_shards` — the
+  multi-process scatter-gather front end behind ``processes > 1``.
 
 :class:`repro.core.query.GUFIQuery` remains the stable facade over
 this engine; import from here when you need sink control or direct
@@ -18,6 +20,7 @@ layer access.
 """
 
 from .engine import QueryEngine
+from .scatter import ScatterGatherEngine, ShardPlan, plan_shards
 from .sinks import (
     AggregateDBSink,
     BoundedSink,
@@ -49,6 +52,8 @@ __all__ = [
     "QuerySpec",
     "ResultSink",
     "Row",
+    "ScatterGatherEngine",
+    "ShardPlan",
     "SinkSummary",
     "StageGates",
     "StageRunner",
@@ -56,5 +61,6 @@ __all__ = [
     "Traversal",
     "normalize_path",
     "path_depth",
+    "plan_shards",
     "spec_label",
 ]

@@ -80,6 +80,8 @@ class QueryEngine:
         tracer: IOTracer | None = None,
         users: dict[int, str] | None = None,
         groups: dict[int, str] | None = None,
+        processes: int = 1,
+        mp_start_method: str | None = None,
     ) -> None:
         self.index = index
         self.creds = creds
@@ -90,6 +92,12 @@ class QueryEngine:
         self.users = users if users is not None else {}
         self.groups = groups if groups is not None else {}
         self.pool = ThreadStatePool(users=self.users, groups=self.groups)
+        #: worker processes for run(); 1 = single-process (historical)
+        self.processes = max(1, int(processes))
+        #: multiprocessing start method for scatter-gather workers
+        #: (None = the platform default, fork on Linux)
+        self.mp_start_method = mp_start_method
+        self._scatter_engine: Any = None
 
     def close(self) -> None:
         """Release the session's pooled connections and scratch files."""
@@ -115,7 +123,26 @@ class QueryEngine:
 
         ``sink`` chooses the result path; the default is in-memory
         rows (or per-thread files when ``spec.output_prefix`` is set,
-        preserving the ``-o`` shorthand)."""
+        preserving the ``-o`` shorthand).
+
+        With ``processes > 1`` the run is executed scatter-gather: the
+        index is partitioned into subtree shards, each processed by a
+        worker *process* running its own engine, and the results are
+        merged back through ``sink`` (see
+        :mod:`repro.core.engine.scatter`). ``processes=1`` is exactly
+        the historical single-process path."""
+        if self.processes > 1:
+            return self._scatter().run(spec, start, plan=plan, sink=sink)
+        return self._run_local(spec, start, plan, sink)
+
+    def _run_local(
+        self,
+        spec: QuerySpec,
+        start: str,
+        plan: QueryPlan | None,
+        sink: ResultSink | None,
+    ) -> QueryResult:
+        """The single-process run path (also the scatter fallback)."""
         sink = self._default_sink(spec) if sink is None else sink
         sink._claim()
         return self._observed(
@@ -124,6 +151,53 @@ class QueryEngine:
             start,
             lambda otr: self._run_impl(spec, start, plan, sink, otr),
         )
+
+    def run_shard(
+        self,
+        spec: QuerySpec,
+        units: list[tuple[str, bool]],
+        start_depth: int,
+        plan: QueryPlan | None = None,
+        sink: ResultSink | None = None,
+        agg_path: str | None = None,
+    ) -> QueryResult:
+        """Process a list of shard work units ``(path, may_descend)``.
+
+        This is the worker-side entry point of scatter-gather
+        execution: the shard planner has already enforced root
+        reachability and made the descent decisions *above* these
+        units, so each unit is processed with full per-directory
+        semantics (permissions, plan gates, counters) but units with
+        ``may_descend=False`` never expand children. ``start_depth``
+        is the absolute depth of the *original* query start, so plan
+        depth windows stay relative to it.
+
+        ``agg_path`` names the run's aggregate database file and keeps
+        it on disk after the run so the gather phase can fold the
+        per-worker ``J`` results and run ``G`` once globally. No
+        whole-query observability is recorded here — the parent owns
+        the query-level span/counters; workers contribute their
+        walker/session metrics through snapshot merging."""
+        sink = self._default_sink(spec) if sink is None else sink
+        sink._claim()
+        norm = [(normalize_path(p), bool(rec)) for p, rec in units]
+        trav = Traversal(self.index, self.creds, spec, plan, start_depth)
+        return self._walk_units(
+            spec, norm, start_depth, trav, sink, obs.tracer(),
+            agg_path=agg_path,
+        )
+
+    def _scatter(self) -> Any:
+        """The engine's lazily-built scatter-gather front end."""
+        if self._scatter_engine is None:
+            from .scatter import ScatterGatherEngine
+
+            self._scatter_engine = ScatterGatherEngine(
+                self,
+                processes=self.processes,
+                mp_start_method=self.mp_start_method,
+            )
+        return self._scatter_engine
 
     def run_single(
         self,
@@ -383,14 +457,31 @@ class QueryEngine:
         sink: ResultSink,
         otr: Any,
     ) -> QueryResult:
-        t0 = time.monotonic()
         start = normalize_path(start)
         start_depth = path_depth(start)
         trav = Traversal(self.index, self.creds, spec, plan, start_depth)
         trav.check_root_reachable(start)
         if not self.index.db_path(start).exists():
             raise FileNotFoundError(f"no index directory for {start!r}")
+        return self._walk_units(
+            spec, [(start, True)], start_depth, trav, sink, otr
+        )
 
+    def _walk_units(
+        self,
+        spec: QuerySpec,
+        units: list[tuple[str, bool]],
+        start_depth: int,
+        trav: Traversal,
+        sink: ResultSink,
+        otr: Any,
+        agg_path: str | None = None,
+    ) -> QueryResult:
+        """The shared walk body: process every ``(path, may_descend)``
+        unit (descending where allowed), then run the J/G merge.
+        ``run()`` passes a single recursive unit at the query start;
+        ``run_shard()`` passes a shard's worth of units."""
+        t0 = time.monotonic()
         pool = self.pool
         index = self.index
         creds = self.creds
@@ -417,7 +508,14 @@ class QueryEngine:
                     run_states[tid] = st
             return st
 
-        def process_dir(source_path: str) -> list[str]:
+        def process_dir(unit: tuple[str, bool]) -> list[tuple[str, bool]]:
+            source_path, may_descend = unit
+
+            def children(paths: list[str]) -> list[tuple[str, bool]]:
+                if not may_descend:
+                    return []
+                return [(child, True) for child in paths]
+
             st = thread_state()
             st.ctx.current_path = source_path
             depth = path_depth(source_path)
@@ -443,7 +541,7 @@ class QueryEngine:
                     st.visited += 1
                     st.pruned += 1
                     st.elided += 1
-                    return trav.descend(source_path, meta, rel_depth)
+                    return children(trav.descend(source_path, meta, rel_depth))
             t_pruned = False
             local_rows: list[tuple] = []
             try:
@@ -512,17 +610,17 @@ class QueryEngine:
                     StageRunner.detach(st)
             if local_rows:
                 sink.emit(st, local_rows)
-            return trav.descend(
-                source_path, meta, rel_depth, t_pruned=t_pruned
+            return children(
+                trav.descend(source_path, meta, rel_depth, t_pruned=t_pruned)
             )
 
-        expand: Callable[[str], list[str]]
+        expand: Callable[[tuple[str, bool]], list[tuple[str, bool]]]
         if tracing:
 
-            def expand(source_path: str) -> list[str]:
-                sp = otr.start("query.dir", path=source_path)
+            def expand(unit: tuple[str, bool]) -> list[tuple[str, bool]]:
+                sp = otr.start("query.dir", path=unit[0])
                 try:
-                    return process_dir(source_path)
+                    return process_dir(unit)
                 finally:
                     otr.end(sp)
 
@@ -530,7 +628,7 @@ class QueryEngine:
             expand = process_dir
 
         walker = ParallelTreeWalker(self.nthreads)
-        stats = walker.walk([start], expand)
+        stats = walker.walk(units, expand)
 
         states = list(run_states.values())
         visited = sum(st.visited for st in states)
@@ -547,7 +645,15 @@ class QueryEngine:
         # Merge phase: J per thread database, then G on the aggregate.
         # --------------------------------------------------------------
         merge = MergeRunner(
-            spec, pool, self.users, self.groups, otr, timing, tracing
+            spec,
+            pool,
+            self.users,
+            self.groups,
+            otr,
+            timing,
+            tracing,
+            agg_path=agg_path,
+            keep_aggregate=agg_path is not None,
         )
         try:
             g_rows = merge.run(states)
@@ -567,7 +673,9 @@ class QueryEngine:
 
         if stats.errors:
             item, exc = stats.errors[0]
-            raise RuntimeError(f"query failed at {item!r}: {exc}") from exc
+            raise RuntimeError(
+                f"query failed at {item[0]!r}: {exc}"
+            ) from exc
 
         return QueryResult(
             rows=summary.rows,

@@ -198,6 +198,8 @@ class MergeRunner:
         otr: Any,
         timing: bool,
         tracing: bool,
+        agg_path: str | None = None,
+        keep_aggregate: bool = False,
     ) -> None:
         self.spec = spec
         self.pool = pool
@@ -208,6 +210,10 @@ class MergeRunner:
         self.tracing = tracing
         self.j_time = 0.0
         self.g_time = 0.0
+        #: explicit aggregate location (scatter-gather workers pin the
+        #: file so the parent can fold it); None = pool scratch file
+        self._explicit_agg = agg_path
+        self.keep_aggregate = keep_aggregate
         self._agg_path: str | None = None
 
     def run(self, states: list[_ThreadState]) -> list[tuple]:
@@ -215,7 +221,11 @@ class MergeRunner:
         spec = self.spec
         if not (spec.J or spec.G):
             return []
-        agg_path = self.pool.aggregate_path()
+        agg_path = (
+            self._explicit_agg
+            if self._explicit_agg is not None
+            else self.pool.aggregate_path()
+        )
         self._agg_path = agg_path
         agg = sqlite3.connect(agg_path)
         try:
@@ -275,10 +285,13 @@ class MergeRunner:
                 self.g_time = time.perf_counter() - gb
 
     def cleanup(self) -> None:
-        """Remove the aggregate database file, if one was created."""
+        """Remove the aggregate database file, if one was created —
+        unless the run asked to keep it (scatter-gather workers leave
+        the file behind for the parent's fold)."""
         if self._agg_path is not None:
-            try:
-                os.unlink(self._agg_path)
-            except OSError:
-                pass
+            if not self.keep_aggregate:
+                try:
+                    os.unlink(self._agg_path)
+                except OSError:
+                    pass
             self._agg_path = None

@@ -107,6 +107,7 @@ class GUFIQuery:
         tracer: IOTracer | None = None,
         users: dict[int, str] | None = None,
         groups: dict[int, str] | None = None,
+        processes: int = 1,
     ) -> None:
         self.engine = QueryEngine(
             index,
@@ -115,12 +116,14 @@ class GUFIQuery:
             tracer=tracer,
             users=users,
             groups=groups,
+            processes=processes,
         )
         # Alias the engine's objects (not copies): callers mutate
         # q.users in place and expect live sessions to see it.
         self.index = self.engine.index
         self.creds = self.engine.creds
         self.nthreads = self.engine.nthreads
+        self.processes = self.engine.processes
         self.tracer = self.engine.tracer
         self.users = self.engine.users
         self.groups = self.engine.groups

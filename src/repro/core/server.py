@@ -199,10 +199,13 @@ class GUFIServer:
         nthreads: int = 8,
         audit_cap: int | None = None,
         max_rows: int | None = None,
+        processes: int = 1,
     ) -> None:
         self.index = index
         self.identity = identity
         self.nthreads = nthreads
+        #: worker processes per query session (scatter-gather when > 1)
+        self.processes = max(1, int(processes))
         if max_rows is None:
             max_rows = self.DEFAULT_MAX_ROWS
         #: effective response row cap (None when disabled)
@@ -233,7 +236,7 @@ class GUFIServer:
                 return tools
             tools = GUFITools(
                 self.index, creds=creds, nthreads=self.nthreads,
-                users=self.identity.uid_map(),
+                users=self.identity.uid_map(), processes=self.processes,
             )
             self._sessions[key] = tools
             while len(self._sessions) > self.SESSION_CACHE_SIZE:

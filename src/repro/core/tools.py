@@ -86,10 +86,11 @@ class GUFITools:
         tracer: IOTracer | None = None,
         users: dict[int, str] | None = None,
         groups: dict[int, str] | None = None,
+        processes: int = 1,
     ) -> None:
         self.engine = QueryEngine(
             index, creds=creds, nthreads=nthreads, tracer=tracer,
-            users=users, groups=groups,
+            users=users, groups=groups, processes=processes,
         )
         # Historical attribute name; same object (the engine speaks
         # the full GUFIQuery surface plus sinks).

@@ -68,6 +68,23 @@ class _Hist:
         self.sum += value
         self.count += 1
 
+    def merge(self, other: "HistogramSnapshot") -> None:
+        """Fold a merged snapshot of the same series into this shard's
+        live histogram (the cross-process gather path). Matching bucket
+        layouts add count-for-count; a differing layout re-buckets each
+        bucket by its upper bound — ``sum``/``count`` stay exact either
+        way, only bucket attribution degrades."""
+        if tuple(other.bounds) == tuple(self.bounds):
+            for i, c in enumerate(other.counts):
+                self.counts[i] += c
+        else:
+            edges = list(other.bounds) + [float("inf")]
+            for bound, c in zip(edges, other.counts):
+                if c:
+                    self.counts[bisect_left(self.bounds, bound)] += c
+        self.sum += other.sum
+        self.count += other.count
+
 
 class _Shard:
     """Per-thread metric storage. Written by exactly one thread."""
@@ -135,6 +152,55 @@ class MetricsSnapshot:
         out.update(n for (n, _) in self.gauges)
         out.update(n for (n, _) in self.histograms)
         return out
+
+    # -- cross-process serialization -----------------------------------
+    def to_dict(self) -> dict:
+        """A plain-data (JSON/pickle-safe) form of the snapshot, for
+        shipping a worker process's metrics back to its parent."""
+        return {
+            "counters": [
+                [name, [list(lv) for lv in labels], v]
+                for (name, labels), v in self.counters.items()
+            ],
+            "gauges": [
+                [name, [list(lv) for lv in labels], v]
+                for (name, labels), v in self.gauges.items()
+            ],
+            "histograms": [
+                [
+                    name,
+                    [list(lv) for lv in labels],
+                    list(h.bounds),
+                    list(h.counts),
+                    h.sum,
+                    h.count,
+                ]
+                for (name, labels), h in self.histograms.items()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MetricsSnapshot":
+        """Inverse of :meth:`to_dict`."""
+
+        def key(name: str, labels: list) -> SeriesKey:
+            return (name, tuple((str(k), str(v)) for k, v in labels))
+
+        snap = cls()
+        for name, labels, v in data.get("counters", []):
+            snap.counters[key(name, labels)] = float(v)
+        for name, labels, v in data.get("gauges", []):
+            snap.gauges[key(name, labels)] = float(v)
+        for name, labels, bounds, counts, total, count in data.get(
+            "histograms", []
+        ):
+            snap.histograms[key(name, labels)] = HistogramSnapshot(
+                bounds=tuple(bounds),
+                counts=tuple(counts),
+                sum=float(total),
+                count=int(count),
+            )
+        return snap
 
 
 class MetricsRegistry:
@@ -222,6 +288,24 @@ class MetricsRegistry:
                         )
         return snap
 
+    def merge_snapshot(self, snap: MetricsSnapshot) -> None:
+        """Fold another process's merged snapshot into this registry —
+        the gather half of scatter-gather observability. Counters and
+        histogram tallies add; gauges are last-write-wins. The fold
+        lands in the calling thread's shard, so concurrent merges from
+        different threads stay lock-free on the counter path."""
+        shard = self._shard()
+        for key, v in snap.counters.items():
+            shard.counters[key] = shard.counters.get(key, 0.0) + v
+        for key, hs in snap.histograms.items():
+            h = shard.hists.get(key)
+            if h is None:
+                h = shard.hists[key] = _Hist(tuple(hs.bounds))
+            h.merge(hs)
+        if snap.gauges:
+            with self._lock:
+                self._gauges.update(snap.gauges)
+
     def reset(self) -> None:
         """Zero every series. Shards stay registered (threads hold
         references to them through their ``threading.local``)."""
@@ -250,6 +334,9 @@ class NullRecorder:
 
     def snapshot(self) -> MetricsSnapshot:
         return MetricsSnapshot()
+
+    def merge_snapshot(self, snap: MetricsSnapshot) -> None:
+        pass
 
     def reset(self) -> None:
         pass

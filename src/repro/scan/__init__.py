@@ -28,7 +28,13 @@ from .trace import (
     write_trace,
 )
 from .faults import BuildCrash, Fault, FaultPlan, FiredFault, InjectedFault
-from .walker import FatalWalkError, ParallelTreeWalker, RetryPolicy, WalkStats
+from .walker import (
+    FatalWalkError,
+    ParallelTreeWalker,
+    RetryPolicy,
+    WalkStats,
+    default_worker_count,
+)
 
 __all__ = [
     "split_trace",
@@ -57,6 +63,7 @@ __all__ = [
     "TreeWalkScanner",
     "WalkStats",
     "XATTR_SEP",
+    "default_worker_count",
     "make_scanner",
     "read_trace",
     "record_from_inode",

@@ -48,6 +48,7 @@ into the process metrics registry once per walk.
 
 from __future__ import annotations
 
+import os
 import queue
 import threading
 import time
@@ -58,6 +59,17 @@ from typing import Any, TypeVar
 from repro import obs
 
 T = TypeVar("T")
+
+
+def default_worker_count() -> int:
+    """Worker threads to use when the caller doesn't say: the CPUs this
+    process may actually run on (its affinity mask — a container or
+    cpuset grants fewer than the machine has), falling back to the
+    machine count where affinity is unsupported."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
 
 
 class FatalWalkError(Exception):
@@ -131,12 +143,16 @@ class WalkStats:
 class ParallelTreeWalker:
     """A reusable work pool over tree-shaped work.
 
-    ``nthreads`` matches the paper's ``-n`` flag. The pool is created
-    per :meth:`walk` call (walks are long relative to thread start-up,
-    and per-call pools keep the completion-time bookkeeping simple).
+    ``nthreads`` matches the paper's ``-n`` flag; ``None`` means
+    :func:`default_worker_count` — the CPUs this process is allowed to
+    run on. The pool is created per :meth:`walk` call (walks are long
+    relative to thread start-up, and per-call pools keep the
+    completion-time bookkeeping simple).
     """
 
-    def __init__(self, nthreads: int = 8):
+    def __init__(self, nthreads: int | None = None):
+        if nthreads is None:
+            nthreads = default_worker_count()
         if nthreads < 1:
             raise ValueError("nthreads must be >= 1")
         self.nthreads = nthreads

@@ -24,7 +24,7 @@ from repro.obs.export import (
     to_prometheus,
     write_trace_jsonl,
 )
-from repro.obs.registry import MetricsRegistry, NullRecorder
+from repro.obs.registry import MetricsRegistry, MetricsSnapshot, NullRecorder
 from repro.obs.slowlog import SlowQueryLog
 from repro.obs.spans import NullTracer, Tracer
 from repro.scan.walker import ParallelTreeWalker, RetryPolicy
@@ -105,6 +105,99 @@ class TestRegistry:
         rec.counter("x")
         rec.observe("y", 1.0)
         rec.gauge("z", 1.0)
+        snap = rec.snapshot()
+        assert not snap.counters and not snap.histograms and not snap.gauges
+
+
+# ----------------------------------------------------------------------
+# Cross-process snapshot serialization + merge (scatter-gather path)
+# ----------------------------------------------------------------------
+
+class TestSnapshotSerialization:
+    @staticmethod
+    def _populated_registry() -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.counter("sc_total", 3)
+        reg.counter("sc_total", 2, stage="E")
+        reg.gauge("sc_gauge", 42, kind="x")
+        for v in (0.0001, 0.003, 0.2, 99.0):
+            reg.observe("sc_seconds", v)
+        return reg
+
+    def test_to_dict_from_dict_round_trip(self):
+        snap = self._populated_registry().snapshot()
+        data = snap.to_dict()
+        # The wire form must be plain data (picklable AND json-able).
+        restored = MetricsSnapshot.from_dict(json.loads(json.dumps(data)))
+        assert restored.counters == snap.counters
+        assert restored.gauges == snap.gauges
+        assert set(restored.histograms) == set(snap.histograms)
+        for key, h in snap.histograms.items():
+            r = restored.histograms[key]
+            assert (r.bounds, r.counts, r.count) == (h.bounds, h.counts, h.count)
+            assert r.sum == pytest.approx(h.sum)
+
+    def test_merge_snapshot_no_drift(self):
+        # A worker's snapshot folded into an empty parent registry must
+        # reproduce the worker's numbers exactly.
+        worker = self._populated_registry().snapshot()
+        parent = MetricsRegistry()
+        parent.merge_snapshot(MetricsSnapshot.from_dict(worker.to_dict()))
+        merged = parent.snapshot()
+        assert merged.counters == worker.counters
+        assert merged.gauges == worker.gauges
+        for key, h in worker.histograms.items():
+            m = merged.histograms[key]
+            assert (m.bounds, m.counts, m.count) == (h.bounds, h.counts, h.count)
+            assert m.sum == pytest.approx(h.sum)
+
+    def test_merge_snapshot_adds_to_existing_series(self):
+        parent = self._populated_registry()
+        worker = self._populated_registry().snapshot()
+        parent.merge_snapshot(worker)
+        merged = parent.snapshot()
+        assert merged.counter("sc_total") == 6.0
+        assert merged.counter("sc_total", stage="E") == 4.0
+        h = merged.histogram("sc_seconds")
+        assert h.count == 8
+        assert h.sum == pytest.approx(2 * worker.histogram("sc_seconds").sum)
+        assert h.counts == tuple(
+            2 * c for c in worker.histogram("sc_seconds").counts
+        )
+        # Gauges are last-write-wins, not additive.
+        assert merged.gauge("sc_gauge", kind="x") == 42.0
+
+    def test_merge_many_workers_matches_sum(self):
+        parent = MetricsRegistry()
+        for _ in range(5):
+            parent.merge_snapshot(self._populated_registry().snapshot())
+        merged = parent.snapshot()
+        assert merged.counter_total("sc_total") == 5 * 5.0
+        assert merged.histogram("sc_seconds").count == 5 * 4
+
+    def test_histogram_rebucket_on_bound_mismatch(self):
+        # A worker built with custom buckets still folds: sum/count stay
+        # exact, counts are re-attributed by bucket upper bound.
+        worker = MetricsRegistry()
+        worker.observe("rb_seconds", 0.0004, buckets=(0.002, 2.0))
+        worker.observe("rb_seconds", 1.5, buckets=(0.002, 2.0))
+        worker.observe("rb_seconds", 500.0, buckets=(0.002, 2.0))
+        parent = MetricsRegistry()
+        parent.observe("rb_seconds", 0.01)  # default buckets
+        parent.merge_snapshot(worker.snapshot())
+        h = parent.snapshot().histogram("rb_seconds")
+        assert h.count == 4
+        assert h.sum == pytest.approx(0.0004 + 1.5 + 500.0 + 0.01)
+        # 0.002-bucket lands at the default 0.0025 bound; 2.0 at 2.5;
+        # the worker's +Inf count stays in +Inf.
+        bounds = list(h.bounds)
+        assert h.counts[bounds.index(0.0025)] == 1
+        assert h.counts[bounds.index(2.5)] == 1
+        assert h.counts[-1] == 1
+
+    def test_null_recorder_merge_is_noop(self):
+        rec = NullRecorder()
+        rec.merge_snapshot(self._populated_registry().snapshot())
         snap = rec.snapshot()
         assert not snap.counters and not snap.histograms and not snap.gauges
 

@@ -4,6 +4,7 @@ format round-trips, and scanner-family equivalence."""
 from __future__ import annotations
 
 import io
+import os
 import threading
 
 import pytest
@@ -20,7 +21,7 @@ from repro.scan.scanners import (
     record_from_inode,
 )
 from repro.scan.trace import DirStanza, TraceRecord, read_trace, write_trace
-from repro.scan.walker import ParallelTreeWalker
+from repro.scan.walker import ParallelTreeWalker, default_worker_count
 
 
 class TestWalker:
@@ -73,6 +74,16 @@ class TestWalker:
     def test_invalid_thread_count(self):
         with pytest.raises(ValueError):
             ParallelTreeWalker(0)
+
+    def test_default_thread_count_tracks_affinity(self):
+        expected = default_worker_count()
+        assert expected >= 1
+        assert ParallelTreeWalker().nthreads == expected
+        try:
+            affinity = len(os.sched_getaffinity(0))
+        except (AttributeError, OSError):
+            affinity = os.cpu_count() or 1
+        assert expected == affinity
 
     def test_items_per_thread_sums(self):
         stats = ParallelTreeWalker(3).walk(range(30), lambda n: [])
