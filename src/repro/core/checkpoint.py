@@ -36,6 +36,7 @@ incomplete.
 from __future__ import annotations
 
 import json
+import os
 import threading
 from dataclasses import dataclass
 from pathlib import Path
@@ -44,6 +45,8 @@ from . import db as dbmod
 
 JOURNAL_NAME = "gufi_build.journal"
 JOURNAL_FORMAT = "gufi-journal-1"
+CURSOR_NAME = "gufi_changefeed.cursor"
+CURSOR_FORMAT = "gufi-changefeed-cursor-1"
 
 
 @dataclass(frozen=True)
@@ -187,5 +190,76 @@ class BuildJournal:
         self.close()
         try:
             self.journal_path.unlink()
+        except OSError:
+            pass
+
+
+class ChangefeedCheckpoint:
+    """Durable cursor for the incremental-indexing consumer.
+
+    The changefeed consumer (:func:`repro.core.changefeed.
+    changefeed2index`) applies a drained event batch to the index and
+    then — only then — commits the batch's final sequence number here.
+    A consumer killed mid-apply restarts from the last committed
+    cursor and re-drains the same events; because every per-directory
+    apply rescans the live source and republishes through the atomic
+    ``.partial``+rename path, replaying is idempotent, so commit-after-
+    apply gives exactly-once *effects* without two-phase machinery.
+
+    The cursor file (``gufi_changefeed.cursor`` in the index root) is
+    a single JSON object rewritten atomically (tmp + ``os.replace``),
+    the same publish discipline the directory databases use — a crash
+    during commit leaves the previous cursor intact, never a torn one.
+    """
+
+    def __init__(self, index_root: Path | str):
+        self.root = Path(index_root)
+
+    @property
+    def cursor_path(self) -> Path:
+        return self.root / CURSOR_NAME
+
+    def load(self) -> int:
+        """Last committed cursor; 0 when no checkpoint exists yet (a
+        consumer starting from scratch has applied nothing). Corrupt
+        files read as 0 — the journal overflow check then decides
+        whether replay-from-0 is possible or a rebuild is needed."""
+        return self.load_state()[0]
+
+    def load_state(self) -> tuple[int, list[str]]:
+        """(cursor, pending tsummary roots). The pending list names
+        tsummary roots whose rows a crashed apply may have destroyed
+        (a per-directory rebuild empties the fresh database's tsummary
+        table); the resumed apply must re-derive them, because the
+        destroyed rows are no longer there to detect."""
+        try:
+            obj = json.loads(self.cursor_path.read_text(encoding="utf-8"))
+            cursor = int(obj["cursor"])
+            pending = [str(p) for p in obj.get("pending_tsummary", [])]
+            return cursor, pending
+        except (OSError, ValueError, KeyError, TypeError):
+            return 0, []
+
+    def commit(
+        self, cursor: int, pending_tsummary: list[str] | tuple[str, ...] = ()
+    ) -> None:
+        """Atomically persist ``cursor`` (and any tsummary roots still
+        owed a refresh) via tmp + ``os.replace``."""
+        payload = json.dumps(
+            {
+                "format": CURSOR_FORMAT,
+                "cursor": int(cursor),
+                "pending_tsummary": sorted(pending_tsummary),
+            }
+        )
+        tmp = self.cursor_path.with_suffix(".cursor.tmp")
+        tmp.write_text(payload, encoding="utf-8")
+        os.replace(tmp, self.cursor_path)
+
+    def clear(self) -> None:
+        """Remove the checkpoint (e.g. after a full rebuild resets the
+        incremental state)."""
+        try:
+            self.cursor_path.unlink()
         except OSError:
             pass

@@ -42,7 +42,7 @@ class UpdateResult:
     entries_indexed: int
 
 
-def _unroll_path_to(index: GUFIIndex, target: str) -> list[str]:
+def unroll_path_to(index: GUFIIndex, target: str) -> list[str]:
     """Undo rollups on every directory from the root down to (and
     including) ``target`` so the target's database is authoritative
     again. Off-path siblings keep their rollups."""
@@ -81,7 +81,7 @@ def update_directory(
     opts = opts or BuildOptions()
     t0 = time.monotonic()
     source_path = "/" + "/".join(p for p in source_path.split("/") if p)
-    unrolled = _unroll_path_to(index, source_path)
+    unrolled = unroll_path_to(index, source_path)
 
     targets = [source_path]
     if recursive:
@@ -98,8 +98,8 @@ def update_directory(
 
     total_entries = 0
     for d in targets:
-        stanza = _scan_single_dir(tree, d)
-        _remove_dir_dbs(index, d)
+        stanza = scan_single_dir(tree, d)
+        remove_dir_dbs(index, d)
         n, _ = build_dir_db(index, stanza, opts)
         total_entries += n
         # Invalidate before returning so no warm query session can
@@ -116,7 +116,7 @@ def update_directory(
     )
 
 
-def _scan_single_dir(tree: VFSTree, source_path: str) -> DirStanza:
+def scan_single_dir(tree: VFSTree, source_path: str) -> DirStanza:
     import posixpath
 
     dir_inode = tree.get_inode(source_path)
@@ -129,7 +129,7 @@ def _scan_single_dir(tree: VFSTree, source_path: str) -> DirStanza:
     return stanza
 
 
-def _remove_dir_dbs(index: GUFIIndex, source_path: str) -> None:
+def remove_dir_dbs(index: GUFIIndex, source_path: str) -> None:
     """Remove the directory's primary and side databases so the
     rebuild starts clean (stale side databases would leak old xattr
     values — exactly what the security use case must prevent)."""

@@ -20,6 +20,13 @@ from .errors import (
     ReadOnly,
     TooManyLinks,
 )
+from .changelog import (
+    METADATA_OPS,
+    ChangeBatch,
+    ChangeEvent,
+    ChangeJournal,
+    ChangelogOverflow,
+)
 from .inode import BLKSIZE, FileType, Inode, StatResult
 from .mounts import MountedFS
 from .permissions import (
@@ -39,8 +46,13 @@ from .tree import DirEntry, VFSTree
 __all__ = [
     "AlreadyExists",
     "BLKSIZE",
+    "ChangeBatch",
+    "ChangeEvent",
+    "ChangeJournal",
+    "ChangelogOverflow",
     "Credentials",
     "DirEntry",
+    "METADATA_OPS",
     "FSError",
     "FileType",
     "Inode",

@@ -1,0 +1,237 @@
+"""Bounded change journal for a :class:`~repro.fs.tree.VFSTree`.
+
+Production metadata indexes go stale at the pull interval: the paper's
+site rebuilds every index on a 4-hour cycle (§III-A4), so freshness
+costs O(tree) per cycle no matter how little changed. Robinhood and
+Lustre changelogs show the alternative — the file system records every
+namespace mutation in a sequence-numbered journal and consumers keep
+derived state fresh in O(changes). This module is that journal for the
+simulated source tree: :meth:`VFSTree.set_changelog` attaches one, and
+every successful mutating operation emits a :class:`ChangeEvent` under
+the tree lock, so event order is exactly namespace mutation order.
+
+Design points mirroring real changelogs (Lustre ``changelog_reader``,
+Robinhood's pipeline):
+
+* **Monotonic sequence numbers** — each event gets the next ``seq``;
+  consumers track a *cursor* (the last seq they have durably applied)
+  and :meth:`drain` returns everything after it.
+* **Bounded retention** — the journal keeps at most ``capacity``
+  events. When a consumer lags far enough that events it has not seen
+  were evicted, :meth:`drain` raises :class:`ChangelogOverflow`; the
+  consumer must fall back to a full rescan (exactly what Lustre's
+  ``changelog_clear`` laggards face).
+* **Consumer acknowledgement** — :meth:`release` discards events at or
+  below a cursor the consumer has checkpointed, keeping the retained
+  window small when consumers keep up.
+* **Drain-time coalescing** — repeated metadata events against the
+  same (inode, path) collapse to the first one in a drained batch.
+  Coalescing happens at *drain* time, never at append time, so it can
+  never merge an event a consumer has already applied into one it has
+  not (the cursor makes append-time merging unsound).
+
+Coalescing is safe by construction: the consumer maps every event to
+the set of index directories it dirties, and a metadata event on an
+(inode, path) that an earlier retained event already covers dirties
+nothing new — chmod/chown/utime/setxattr/removexattr on a file all
+dirty the parent directory, and on a directory all dirty the directory
+itself, exactly like the create that may precede them. Structural
+events (create/unlink/rmdir/rename) are never coalesced.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+#: ops that only change an existing inode's attributes; these coalesce
+METADATA_OPS = frozenset(
+    {"chmod", "chown", "utime", "setxattr", "removexattr"}
+)
+
+#: every op a journal can carry
+ALL_OPS = METADATA_OPS | {"create", "unlink", "rmdir", "rename"}
+
+
+class ChangelogOverflow(Exception):
+    """The journal evicted events the consumer has not applied; only a
+    full rebuild can recover the lost delta."""
+
+
+@dataclass(frozen=True)
+class ChangeEvent:
+    """One namespace mutation, in the journal's global order.
+
+    ``path`` is the canonical (symlink-free) path of the affected
+    entry; for ``rename`` it is the source and ``dst_path`` the
+    destination. ``ftype`` is the entry's type (``d``/``f``/``l``) so
+    consumers can tell a directory rename (index subtree move) from a
+    file rename (two parent-directory touches) without a lookup.
+    """
+
+    seq: int
+    op: str
+    path: str
+    ino: int
+    ftype: str
+    dst_path: str | None = None
+
+    @property
+    def is_dir(self) -> bool:
+        return self.ftype == "d"
+
+
+@dataclass(frozen=True)
+class ChangeBatch:
+    """The result of one :meth:`ChangeJournal.drain`.
+
+    ``events`` are coalesced and in sequence order; ``cursor`` is the
+    sequence number the consumer should checkpoint once the whole
+    batch is durably applied (it covers every raw event up to and
+    including it, coalesced or not).
+    """
+
+    events: tuple[ChangeEvent, ...]
+    cursor: int
+    raw_count: int
+    coalesced: int
+
+
+class ChangeJournal:
+    """Thread-safe bounded event journal with cursor-based draining.
+
+    One journal serves one tree; multiple consumers may drain with
+    independent cursors, but :meth:`release` should only be driven by
+    the slowest one (this codebase uses a single consumer per index).
+    """
+
+    def __init__(self, capacity: int = 65536):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._events: deque[ChangeEvent] = deque()
+        self._next_seq = 1
+        self._lock = threading.Lock()
+        #: lifetime counters (monotonic, survive release())
+        self.events_total = 0
+        self.dropped_total = 0
+
+    # ------------------------------------------------------------------
+    # Producer side (called by VFSTree under its own lock)
+    # ------------------------------------------------------------------
+    def emit(
+        self,
+        op: str,
+        path: str,
+        ino: int,
+        ftype: str,
+        dst_path: str | None = None,
+    ) -> ChangeEvent:
+        """Append one event, evicting the oldest when over capacity."""
+        if op not in ALL_OPS:
+            raise ValueError(f"unknown changelog op {op!r}")
+        with self._lock:
+            event = ChangeEvent(
+                seq=self._next_seq, op=op, path=path, ino=ino,
+                ftype=ftype, dst_path=dst_path,
+            )
+            self._next_seq += 1
+            self._events.append(event)
+            self.events_total += 1
+            while len(self._events) > self.capacity:
+                self._events.popleft()
+                self.dropped_total += 1
+            return event
+
+    # ------------------------------------------------------------------
+    # Consumer side
+    # ------------------------------------------------------------------
+    @property
+    def head(self) -> int:
+        """Sequence number of the newest event ever emitted (0 when
+        nothing has been emitted yet)."""
+        with self._lock:
+            return self._next_seq - 1
+
+    @property
+    def oldest_retained(self) -> int:
+        """Smallest seq still in the journal (head+1 when empty)."""
+        with self._lock:
+            return self._events[0].seq if self._events else self._next_seq
+
+    def overflowed(self, cursor: int) -> bool:
+        """Would a consumer at ``cursor`` have lost events? True when
+        any event in ``(cursor, head]`` has been evicted."""
+        with self._lock:
+            first = self._events[0].seq if self._events else self._next_seq
+            return cursor + 1 < first
+
+    def drain(
+        self, cursor: int, limit: int | None = None
+    ) -> ChangeBatch:
+        """Return the coalesced events after ``cursor``.
+
+        The journal is *not* modified — events stay retained until
+        :meth:`release` acknowledges them, so a consumer that crashes
+        between drain and checkpoint re-drains the same batch.
+        Raises :class:`ChangelogOverflow` when events in the window
+        were evicted; an empty batch keeps ``cursor`` unchanged.
+        """
+        with self._lock:
+            first = self._events[0].seq if self._events else self._next_seq
+            if cursor + 1 < first:
+                raise ChangelogOverflow(
+                    f"cursor {cursor} predates oldest retained event "
+                    f"{first} ({self.dropped_total} dropped)"
+                )
+            pending = [e for e in self._events if e.seq > cursor]
+        if limit is not None:
+            pending = pending[:limit]
+        if not pending:
+            return ChangeBatch(events=(), cursor=cursor, raw_count=0,
+                               coalesced=0)
+        kept: list[ChangeEvent] = []
+        seen: set[tuple[int, str]] = set()
+        coalesced = 0
+        for e in pending:
+            key = (e.ino, e.path)
+            if e.op in METADATA_OPS and key in seen:
+                coalesced += 1
+                continue
+            kept.append(e)
+            seen.add(key)
+        return ChangeBatch(
+            events=tuple(kept),
+            cursor=pending[-1].seq,
+            raw_count=len(pending),
+            coalesced=coalesced,
+        )
+
+    def release(self, cursor: int) -> int:
+        """Discard events with ``seq <= cursor`` (the consumer has
+        checkpointed them). Returns how many were discarded."""
+        n = 0
+        with self._lock:
+            while self._events and self._events[0].seq <= cursor:
+                self._events.popleft()
+                n += 1
+        return n
+
+    def events_between(
+        self, after: int, upto: int
+    ) -> list[ChangeEvent] | None:
+        """Retained events with ``after < seq <= upto`` — or ``None``
+        when part of that window has been evicted (callers needing the
+        delta must then fall back to path diffing)."""
+        if upto <= after:
+            return []
+        with self._lock:
+            first = self._events[0].seq if self._events else self._next_seq
+            if after + 1 < first:
+                return None
+            return [e for e in self._events if after < e.seq <= upto]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)

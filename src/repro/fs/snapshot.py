@@ -32,8 +32,10 @@ def snapshot(tree: VFSTree) -> VFSTree:
         clone._nfiles = tree._nfiles
         clone._ndirs = tree._ndirs
         clone._nsymlinks = tree._nsymlinks
-        # fault plans target the *live* source, not its frozen image
+        # fault plans and changelogs target the *live* source, not its
+        # frozen image (snapshot scans must not re-emit events)
         clone._faults = None
+        clone._changelog = None
         clone._root = _clone_node(tree._root, None)
         return clone
 

@@ -94,12 +94,50 @@ class VFSTree:
         #: firing "vfs.readdir"/"vfs.get_inode" — lets tests make
         #: source-tree reads fail deterministically, like a flaky NFS
         self._faults = None
+        #: optional ChangeJournal (see repro.fs.changelog) receiving
+        #: one event per successful namespace mutation, emitted under
+        #: the tree lock so journal order == mutation order
+        self._changelog = None
 
     def set_fault_plan(self, plan) -> None:
         """Attach a deterministic fault plan to this tree's read
         operations (``None`` detaches). Duck-typed: anything with
         ``fire(site, key)`` works."""
         self._faults = plan
+
+    def set_changelog(self, journal) -> None:
+        """Attach a change journal recording every namespace mutation
+        (``None`` detaches). Duck-typed: anything with
+        ``emit(op, path, ino, ftype, dst_path=None)`` works."""
+        self._changelog = journal
+
+    def _node_path(self, node: _Node) -> str:
+        """Canonical (symlink-free) absolute path of an attached node,
+        reconstructed through parent pointers. Called under the lock."""
+        parts: list[str] = []
+        while node.parent is not None:
+            parent = node.parent
+            assert parent.children is not None
+            for name, child in parent.children.items():
+                if child is node:
+                    parts.append(name)
+                    break
+            else:  # pragma: no cover - would mean a corrupted tree
+                raise RuntimeError("node detached from tree")
+            node = parent
+        return "/" + "/".join(reversed(parts))
+
+    def _emit(
+        self,
+        op: str,
+        path: str,
+        inode: Inode,
+        dst_path: str | None = None,
+    ) -> None:
+        if self._changelog is not None:
+            self._changelog.emit(
+                op, path, inode.ino, inode.ftype.value, dst_path=dst_path
+            )
 
     # ------------------------------------------------------------------
     # Counters / time
@@ -219,6 +257,9 @@ class VFSTree:
                 self._nfiles += 1
             else:
                 self._nsymlinks += 1
+            self._emit(
+                "create", posixpath.join(self._node_path(parent), name), inode
+            )
             return inode
 
     def mkdir(
@@ -337,12 +378,14 @@ class VFSTree:
                 raise NoSuchEntry(path)
             if node.inode.ftype is FileType.DIRECTORY:
                 raise IsADirectory(path)
+            canon = posixpath.join(self._node_path(parent), name)
             del parent.children[name]
             p.mtime = p.ctime = self._now()
             if node.inode.ftype is FileType.FILE:
                 self._nfiles -= 1
             else:
                 self._nsymlinks -= 1
+            self._emit("unlink", canon, node.inode)
 
     def rmdir(self, path: str, creds: Credentials = ROOT) -> None:
         """Remove an empty directory."""
@@ -363,10 +406,12 @@ class VFSTree:
             assert node.children is not None
             if node.children:
                 raise NotEmpty(path)
+            canon = posixpath.join(self._node_path(parent), name)
             del parent.children[name]
             p.nlink -= 1
             p.mtime = p.ctime = self._now()
             self._ndirs -= 1
+            self._emit("rmdir", canon, node.inode)
 
     def rename(
         self, old: str, new: str, creds: Credentials = ROOT
@@ -399,6 +444,7 @@ class VFSTree:
                     if probe is node:
                         raise InvalidArgument(new, "destination inside source")
                     probe = probe.parent
+            canon_old = posixpath.join(self._node_path(src_parent), src_name)
             del src_parent.children[src_name]
             dst_parent.children[dst_name] = node
             node.parent = dst_parent
@@ -409,6 +455,8 @@ class VFSTree:
             src_parent.inode.mtime = src_parent.inode.ctime = now
             dst_parent.inode.mtime = dst_parent.inode.ctime = now
             node.inode.ctime = now
+            canon_new = posixpath.join(self._node_path(dst_parent), dst_name)
+            self._emit("rename", canon_old, node.inode, dst_path=canon_new)
 
     # ------------------------------------------------------------------
     # Metadata access
@@ -457,6 +505,7 @@ class VFSTree:
                 raise PermissionDenied(path)
             inode.mode = mode & 0o7777
             inode.ctime = self._now()
+            self._emit("chmod", self._node_path(node), inode)
 
     def chown(
         self, path: str, uid: int, gid: int, creds: Credentials = ROOT
@@ -468,6 +517,7 @@ class VFSTree:
             node.inode.uid = uid
             node.inode.gid = gid
             node.inode.ctime = self._now()
+            self._emit("chown", self._node_path(node), node.inode)
 
     def utime(
         self, path: str, atime: int, mtime: int, creds: Credentials = ROOT
@@ -480,6 +530,7 @@ class VFSTree:
             inode.atime = atime
             inode.mtime = mtime
             inode.ctime = self._now()
+            self._emit("utime", self._node_path(node), inode)
 
     # ------------------------------------------------------------------
     # Extended attributes (§III-A2 protection rules)
@@ -495,6 +546,7 @@ class VFSTree:
                 raise PermissionDenied(path)
             inode.xattrs[name] = bytes(value)
             inode.ctime = self._now()
+            self._emit("setxattr", self._node_path(node), inode)
 
     def getxattr(
         self,
@@ -540,6 +592,7 @@ class VFSTree:
                 raise NoSuchAttr(path, f"no xattr {name!r}")
             del inode.xattrs[name]
             inode.ctime = self._now()
+            self._emit("removexattr", self._node_path(node), inode)
 
     # ------------------------------------------------------------------
     # Privileged scanner interface

@@ -18,9 +18,11 @@ paper's experiments depend on:
 from __future__ import annotations
 
 import posixpath
+import random
 from dataclasses import dataclass, field
 from enum import Enum
 
+from repro.fs.errors import FSError
 from repro.fs.tree import VFSTree
 
 from .distributions import Population, Sampler
@@ -288,6 +290,220 @@ def build_namespace(spec: NamespaceSpec) -> GeneratedNamespace:
         files=sorted(files),
         area_roots=dict(areas),
     )
+
+
+class NamespaceMutator:
+    """Seeded random mutation driver over a generated namespace.
+
+    Produces the workload the changefeed consumer must keep up with:
+    each :meth:`mutate` step applies one random namespace mutation —
+    create/unlink/rename (files and whole directory subtrees), mkdir/
+    rmdir, chmod/chown/utime, setxattr/removexattr — as root, keeping
+    the :class:`GeneratedNamespace` bookkeeping (``dirs``/``files``)
+    consistent so tests and benchmarks can keep sampling live paths.
+    Every decision comes from one seeded RNG, so a (namespace seed,
+    mutator seed) pair replays the identical mutation sequence.
+
+    Ops that land on an impossible target (rename into its own
+    subtree, rmdir of a non-empty directory, a name collision) are
+    retried with a fresh sample rather than counted, so ``mutate(n)``
+    performs exactly ``n`` real mutations whenever any op is possible.
+    """
+
+    #: op → relative weight; structural ops dominate, matching real
+    #: changelog traffic (Robinhood's pipelines see mostly creates)
+    DEFAULT_WEIGHTS = {
+        "create_file": 30,
+        "mkdir": 8,
+        "unlink": 14,
+        "rmdir": 3,
+        "rename_file": 10,
+        "rename_dir": 4,
+        "chmod": 10,
+        "chown": 5,
+        "utime": 6,
+        "setxattr": 7,
+        "removexattr": 3,
+    }
+
+    def __init__(
+        self,
+        ns: GeneratedNamespace,
+        seed: int = 0,
+        weights: dict[str, int] | None = None,
+    ):
+        self.ns = ns
+        self.rng = random.Random(seed)
+        self.sampler = Sampler(seed ^ 0x5EED)
+        self.weights = dict(weights or self.DEFAULT_WEIGHTS)
+        #: (op, path) log of every mutation actually applied
+        self.applied: list[tuple[str, str]] = []
+        #: paths we have set xattrs on (for removexattr targets)
+        self._xattrs: dict[str, list[str]] = {}
+        self._serial = 0
+
+    # ------------------------------------------------------------------
+    def mutate(self, n: int = 1) -> list[tuple[str, str]]:
+        """Apply ``n`` random mutations; returns the (op, path) log
+        slice for this call."""
+        start = len(self.applied)
+        ops = list(self.weights)
+        weights = [self.weights[o] for o in ops]
+        for _ in range(n):
+            for _attempt in range(64):
+                op = self.rng.choices(ops, weights=weights)[0]
+                if self._try(op):
+                    break
+            else:
+                raise RuntimeError("no mutation possible on this namespace")
+        return self.applied[start:]
+
+    # ------------------------------------------------------------------
+    def _fresh_name(self, prefix: str) -> str:
+        self._serial += 1
+        return f"{prefix}{self._serial:05d}"
+
+    def _pick(self, seq: list[str]) -> str | None:
+        return seq[self.rng.randrange(len(seq))] if seq else None
+
+    def _is_symlink(self, path: str) -> bool:
+        try:
+            return self.ns.tree.lstat(path).ftype.value == "l"
+        except FSError:
+            return True
+
+    def _try(self, op: str) -> bool:
+        tree = self.ns.tree
+        try:
+            if op == "create_file":
+                d = self._pick(self.ns.dirs)
+                if d is None:
+                    return False
+                path = posixpath.join(d, self._fresh_name("mf"))
+                tree.create_file(
+                    path,
+                    size=self.sampler.file_size(16 * 1024, 2.0),
+                    mode=self.rng.choice([0o600, 0o640, 0o644]),
+                    uid=self.rng.choice(self._uids()),
+                    gid=self.rng.choice(self._gids()),
+                )
+                self.ns.files.append(path)
+            elif op == "mkdir":
+                d = self._pick(self.ns.dirs)
+                if d is None:
+                    return False
+                path = posixpath.join(d, self._fresh_name("md"))
+                tree.mkdir(
+                    path,
+                    mode=self.rng.choice([0o700, 0o750, 0o755, 0o770]),
+                    uid=self.rng.choice(self._uids()),
+                    gid=self.rng.choice(self._gids()),
+                )
+                self.ns.dirs.append(path)
+            elif op == "unlink":
+                path = self._pick(self.ns.files)
+                if path is None:
+                    return False
+                tree.unlink(path)
+                self.ns.files.remove(path)
+                self._xattrs.pop(path, None)
+            elif op == "rmdir":
+                path = self._pick(self.ns.dirs)
+                if path is None or tree.readdir(path):
+                    return False
+                tree.rmdir(path)
+                self.ns.dirs.remove(path)
+                self._xattrs.pop(path, None)
+            elif op == "rename_file":
+                src = self._pick(self.ns.files)
+                d = self._pick(self.ns.dirs)
+                if src is None or d is None:
+                    return False
+                dst = posixpath.join(d, self._fresh_name("rf"))
+                tree.rename(src, dst)
+                self.ns.files[self.ns.files.index(src)] = dst
+                if src in self._xattrs:
+                    self._xattrs[dst] = self._xattrs.pop(src)
+                path = src
+            elif op == "rename_dir":
+                src = self._pick(self.ns.dirs)
+                d = self._pick(self.ns.dirs)
+                if src is None or d is None:
+                    return False
+                if d == src or d.startswith(src + "/"):
+                    return False
+                dst = posixpath.join(d, self._fresh_name("rd"))
+                tree.rename(src, dst)
+                self._remap_prefix(src, dst)
+                path = src
+            elif op == "chmod":
+                path = self._pick(self.ns.files + self.ns.dirs)
+                if path is None or self._is_symlink(path):
+                    return False
+                tree.chmod(
+                    path, self.rng.choice([0o600, 0o640, 0o644, 0o700, 0o755])
+                )
+            elif op == "chown":
+                path = self._pick(self.ns.files + self.ns.dirs)
+                if path is None or self._is_symlink(path):
+                    return False
+                tree.chown(
+                    path, self.rng.choice(self._uids()),
+                    self.rng.choice(self._gids()),
+                )
+            elif op == "utime":
+                path = self._pick(self.ns.files)
+                if path is None or self._is_symlink(path):
+                    return False
+                now = max(1, tree.stat("/").st_mtime)
+                tree.utime(path, now, self.rng.randrange(1, now + 1))
+            elif op == "setxattr":
+                path = self._pick(self.ns.files + self.ns.dirs)
+                if path is None or self._is_symlink(path):
+                    return False
+                name = f"user.m{self.rng.randrange(4)}"
+                tree.setxattr(path, name, self.sampler.xattr_value(8))
+                names = self._xattrs.setdefault(path, [])
+                if name not in names:
+                    names.append(name)
+            elif op == "removexattr":
+                candidates = [p for p, ns_ in self._xattrs.items() if ns_]
+                path = self._pick(candidates)
+                if path is None:
+                    return False
+                names = self._xattrs[path]
+                name = names[self.rng.randrange(len(names))]
+                tree.removexattr(path, name)
+                names.remove(name)
+            else:  # pragma: no cover
+                raise ValueError(f"unknown mutation op {op!r}")
+        except FSError:
+            return False
+        self.applied.append((op, path))
+        return True
+
+    def _remap_prefix(self, src: str, dst: str) -> None:
+        """Rewrite bookkeeping paths after a directory rename."""
+        def remap(p: str) -> str:
+            if p == src:
+                return dst
+            if p.startswith(src + "/"):
+                return dst + p[len(src):]
+            return p
+
+        self.ns.dirs[:] = [remap(p) for p in self.ns.dirs]
+        self.ns.files[:] = [remap(p) for p in self.ns.files]
+        self._xattrs = {remap(p): v for p, v in self._xattrs.items()}
+
+    def _uids(self) -> list[int]:
+        pop = self.ns.spec.population
+        return list(pop.uids) if pop is not None else [0]
+
+    def _gids(self) -> list[int]:
+        pop = self.ns.spec.population
+        if pop is None:
+            return [0]
+        return sorted({*pop.primary_gid.values(), *pop.shared_gids})
 
 
 def apply_xattrs(

@@ -14,11 +14,13 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core.build import BuildOptions, dir2index
+from repro.core.changefeed import changefeed2index
 from repro.core.index import DirMetaCache, GUFIIndex
 from repro.core.query import GUFIQuery, Q1_LIST_PATHS, Q3_DU_SUMMARIES
 from repro.core.refresh import IndexRefresher
 from repro.core.rollup import rollup, unrollup_dir
 from repro.core.update import update_directory
+from repro.fs.changelog import ChangeJournal
 from repro.fs.permissions import Credentials
 from tests.conftest import ALICE, BOB, NTHREADS, build_demo_tree
 
@@ -279,3 +281,124 @@ class TestWarmEqualsColdProperty:
             assert got == paths(cold.run(Q1_LIST_PATHS))
             cold.close()
         warm.close()
+
+
+class TestChangefeedInvalidation:
+    """Satellite: the changefeed consumer must leave no warm cache
+    entry alive for any directory an event touched — the very next
+    lookup has to re-read the rewritten database."""
+
+    @pytest.fixture
+    def wired(self, tmp_path):
+        tree = build_demo_tree()
+        index = dir2index(
+            tree, tmp_path / "idx", opts=BuildOptions(nthreads=NTHREADS)
+        ).index
+        journal = ChangeJournal()
+        tree.set_changelog(journal)
+        return tree, index, journal
+
+    def _assert_next_lookup_fresh(self, index, path):
+        """The warm handle's next lookup must serve exactly what a
+        cold handle (empty cache) reads — any surviving pre-mutation
+        entry breaks this. (The apply may legitimately *re*-populate
+        the cache with post-rewrite metadata, so asserting a literal
+        miss would overconstrain the mechanism.)"""
+        got = index.cached_dir_meta(path)
+        cold = GUFIIndex.open(index.root).cached_dir_meta(path)
+        assert got is not None
+        assert got == cold, f"stale DirMeta served for {path}"
+
+    @pytest.mark.parametrize(
+        "mutate, touched",
+        [
+            (lambda t: t.create_file(
+                "/home/bob/cf.dat", size=1, uid=1002, gid=1002
+            ), "/home/bob"),
+            (lambda t: t.unlink("/home/bob/b.txt"), "/home/bob"),
+            (lambda t: t.mkdir(
+                "/home/bob/cfd", mode=0o755, uid=1002, gid=1002
+            ), "/home/bob"),
+            (lambda t: t.chmod("/home/bob", 0o700, BOB), "/home/bob"),
+            (lambda t: t.chown("/home/bob/b.txt", uid=0, gid=0),
+             "/home/bob"),
+            (lambda t: t.utime("/home/bob/b.txt", atime=1, mtime=2),
+             "/home/bob"),
+            (lambda t: t.setxattr("/home/bob/b.txt", "user.k", b"v"),
+             "/home/bob"),
+            (lambda t: t.rename("/home/bob/b.txt", "/home/bob/c.txt"),
+             "/home/bob"),
+        ],
+        ids=["create", "unlink", "mkdir", "chmod", "chown", "utime",
+             "setxattr", "rename-in-place"],
+    )
+    def test_touched_dir_lookup_misses_after_event(
+        self, wired, mutate, touched
+    ):
+        tree, index, journal = wired
+        index.cached_dir_meta(touched)  # warm
+        mutate(tree)
+        changefeed2index(
+            index, tree, journal, opts=BuildOptions(nthreads=NTHREADS)
+        )
+        self._assert_next_lookup_fresh(index, touched)
+
+    def test_rename_across_dirs_invalidates_both_parents(self, wired):
+        """Regression: a cross-directory rename rewrites *two* parent
+        databases; a warm session holding either side's DirMeta must
+        miss on both."""
+        tree, index, journal = wired
+        index.cached_dir_meta("/home/bob")
+        index.cached_dir_meta("/public")
+        tree.rename("/home/bob/b.txt", "/public/b.txt")
+        changefeed2index(
+            index, tree, journal, opts=BuildOptions(nthreads=NTHREADS)
+        )
+        self._assert_next_lookup_fresh(index, "/home/bob")
+        self._assert_next_lookup_fresh(index, "/public")
+
+    def test_warm_query_sees_chmod_immediately(self, wired):
+        """The §III-A3 staleness scenario through the changefeed: bob
+        closes his home, the consumer applies the event, and a warm
+        unprivileged session must not see inside anymore."""
+        tree, index, journal = wired
+        alice = GUFIQuery(index, creds=ALICE, nthreads=NTHREADS)
+        assert "/home/bob/b.txt" in paths(alice.run(Q1_LIST_PATHS))
+        tree.chmod("/home/bob", 0o700, BOB)
+        changefeed2index(
+            index, tree, journal, opts=BuildOptions(nthreads=NTHREADS)
+        )
+        assert not any(
+            p.startswith("/home/bob/")
+            for p in paths(alice.run(Q1_LIST_PATHS))
+        )
+        alice.close()
+
+    def test_warm_query_tracks_cross_dir_rename(self, wired):
+        tree, index, journal = wired
+        q = GUFIQuery(index, nthreads=NTHREADS)
+        before = paths(q.run(Q1_LIST_PATHS))
+        assert "/home/bob/b.txt" in before
+        tree.rename("/home/bob/b.txt", "/public/b.txt")
+        changefeed2index(
+            index, tree, journal, opts=BuildOptions(nthreads=NTHREADS)
+        )
+        after = paths(q.run(Q1_LIST_PATHS))
+        assert "/home/bob/b.txt" not in after
+        assert "/public/b.txt" in after
+        q.close()
+
+    def test_subtree_move_invalidates_old_prefix(self, wired):
+        """A directory rename leaves nothing cached under the old
+        prefix and answers from the new one."""
+        tree, index, journal = wired
+        q = GUFIQuery(index, creds=BOB, nthreads=NTHREADS)
+        assert "/home/bob/secret/s.key" in paths(q.run(Q1_LIST_PATHS))
+        tree.rename("/home/bob/secret", "/home/bob/vault")
+        changefeed2index(
+            index, tree, journal, opts=BuildOptions(nthreads=NTHREADS)
+        )
+        got = paths(q.run(Q1_LIST_PATHS))
+        assert "/home/bob/vault/s.key" in got
+        assert not any(p.startswith("/home/bob/secret") for p in got)
+        q.close()

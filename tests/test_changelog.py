@@ -1,0 +1,189 @@
+"""Unit tests for the bounded change journal and its VFSTree wiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fs.changelog import (
+    ChangeJournal,
+    ChangelogOverflow,
+    METADATA_OPS,
+)
+from repro.fs.snapshot import snapshot
+from tests.conftest import build_demo_tree
+
+
+class TestJournalSemantics:
+    def test_seqs_monotonic_from_one(self):
+        j = ChangeJournal()
+        events = [j.emit("create", f"/f{i}", i, "f") for i in range(3)]
+        assert [e.seq for e in events] == [1, 2, 3]
+        assert j.head == 3
+        assert j.oldest_retained == 1
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            ChangeJournal().emit("truncate", "/f", 1, "f")
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ChangeJournal(capacity=0)
+
+    def test_drain_is_non_destructive(self):
+        j = ChangeJournal()
+        j.emit("create", "/a", 1, "f")
+        batch = j.drain(0)
+        assert [e.path for e in batch.events] == ["/a"]
+        assert batch.cursor == 1
+        assert len(j) == 1  # still retained until release
+        assert j.drain(0).cursor == 1  # re-drain sees the same batch
+
+    def test_release_discards_acknowledged(self):
+        j = ChangeJournal()
+        for i in range(5):
+            j.emit("create", f"/f{i}", i, "f")
+        assert j.release(3) == 3
+        assert len(j) == 2
+        assert j.oldest_retained == 4
+
+    def test_drain_respects_limit(self):
+        j = ChangeJournal()
+        for i in range(10):
+            j.emit("create", f"/f{i}", i, "f")
+        batch = j.drain(0, limit=4)
+        assert batch.raw_count == 4
+        assert batch.cursor == 4  # next drain continues from here
+        rest = j.drain(batch.cursor)
+        assert rest.raw_count == 6
+
+    def test_empty_drain_keeps_cursor(self):
+        j = ChangeJournal()
+        batch = j.drain(0)
+        assert batch.events == () and batch.cursor == 0
+
+    def test_overflow_on_lagging_cursor(self):
+        j = ChangeJournal(capacity=3)
+        for i in range(6):
+            j.emit("create", f"/f{i}", i, "f")
+        assert j.dropped_total == 3
+        assert j.overflowed(0)
+        with pytest.raises(ChangelogOverflow):
+            j.drain(0)
+        # a consumer at the retention boundary is fine
+        assert not j.overflowed(3)
+        assert j.drain(3).raw_count == 3
+
+    def test_metadata_coalesces_structural_does_not(self):
+        j = ChangeJournal()
+        j.emit("create", "/a", 7, "f")
+        j.emit("chmod", "/a", 7, "f")
+        j.emit("chown", "/a", 7, "f")
+        j.emit("chmod", "/b", 8, "f")  # different path: kept
+        j.emit("utime", "/b", 8, "f")  # coalesces into the /b chmod
+        batch = j.drain(0)
+        assert [e.op for e in batch.events] == ["create", "chmod"]
+        assert batch.coalesced == 3
+        assert batch.raw_count == 5
+        assert batch.cursor == 5  # covers coalesced events too
+
+    def test_recreated_inode_not_coalesced_across_ino(self):
+        """Same path, different inode (unlink + recreate): the second
+        chmod targets a different file and must survive."""
+        j = ChangeJournal()
+        j.emit("chmod", "/a", 1, "f")
+        j.emit("chmod", "/a", 2, "f")
+        assert len(j.drain(0).events) == 2
+
+    def test_events_between_window(self):
+        j = ChangeJournal()
+        for i in range(5):
+            j.emit("create", f"/f{i}", i, "f")
+        window = j.events_between(1, 3)
+        assert [e.seq for e in window] == [2, 3]
+        assert j.events_between(3, 3) == []
+        j.release(2)
+        assert j.events_between(0, 4) is None  # partially evicted
+
+    def test_lifetime_counters(self):
+        j = ChangeJournal(capacity=2)
+        for i in range(4):
+            j.emit("create", f"/f{i}", i, "f")
+        j.release(j.head)
+        assert j.events_total == 4
+        assert j.dropped_total == 2
+        assert len(j) == 0
+
+
+class TestTreeEmission:
+    def setup_method(self):
+        self.tree = build_demo_tree()
+        self.journal = ChangeJournal()
+        self.tree.set_changelog(self.journal)
+
+    def ops(self):
+        # events_between is the raw (uncoalesced) view of the window
+        return [(e.op, e.path, e.dst_path)
+                for e in self.journal.events_between(0, self.journal.head)]
+
+    def test_every_mutation_emits(self):
+        t = self.tree
+        t.create_file("/public/f1", size=1, uid=0, gid=0)
+        t.mkdir("/public/d1", mode=0o755, uid=0, gid=0)
+        t.rename("/public/f1", "/public/d1/f1")
+        t.chmod("/public/d1/f1", 0o600)
+        t.chown("/public/d1/f1", uid=7, gid=7)
+        t.utime("/public/d1/f1", atime=1, mtime=2)
+        t.setxattr("/public/d1/f1", "user.k", b"v")
+        t.removexattr("/public/d1/f1", "user.k")
+        t.unlink("/public/d1/f1")
+        t.rmdir("/public/d1")
+        assert self.ops() == [
+            ("create", "/public/f1", None),
+            ("create", "/public/d1", None),
+            ("rename", "/public/f1", "/public/d1/f1"),
+            ("chmod", "/public/d1/f1", None),
+            ("chown", "/public/d1/f1", None),
+            ("utime", "/public/d1/f1", None),
+            ("setxattr", "/public/d1/f1", None),
+            ("removexattr", "/public/d1/f1", None),
+            ("unlink", "/public/d1/f1", None),
+            ("rmdir", "/public/d1", None),
+        ]
+
+    def test_event_ftype_distinguishes_dirs(self):
+        self.tree.mkdir("/public/d", mode=0o755, uid=0, gid=0)
+        self.tree.create_file("/public/f", size=1, uid=0, gid=0)
+        self.tree.symlink("/public/l", "/public/f", uid=0, gid=0)
+        ftypes = {e.path: e.ftype for e in self.journal.drain(0).events}
+        assert ftypes == {"/public/d": "d", "/public/f": "f",
+                          "/public/l": "l"}
+        assert all(e.op == "create" for e in self.journal.drain(0).events)
+
+    def test_failed_mutation_emits_nothing(self):
+        from repro.fs.errors import FSError
+
+        with pytest.raises(FSError):
+            self.tree.unlink("/no/such/file")
+        with pytest.raises(FSError):
+            self.tree.rmdir("/home/bob")  # non-empty
+        assert self.journal.head == 0
+
+    def test_reads_emit_nothing(self):
+        self.tree.stat("/home/bob/b.txt")
+        self.tree.readdir("/public")
+        self.tree.walk("/")
+        assert self.journal.head == 0
+
+    def test_snapshot_detaches_journal(self):
+        """Scanning a snapshot (refresh path) must not feed phantom
+        events into the live tree's journal."""
+        frozen = snapshot(self.tree)
+        frozen.create_file("/public/ghost", size=1, uid=0, gid=0)
+        assert self.journal.head == 0
+        self.tree.create_file("/public/real", size=1, uid=0, gid=0)
+        assert self.journal.head == 1
+
+    def test_metadata_ops_constant_matches_emitters(self):
+        assert METADATA_OPS == {
+            "chmod", "chown", "utime", "setxattr", "removexattr"
+        }

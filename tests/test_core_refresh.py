@@ -7,6 +7,7 @@ import pytest
 from repro.core.build import BuildOptions
 from repro.core.query import GUFIQuery, Q1_LIST_PATHS
 from repro.core.refresh import IndexRefresher, diff_indexes
+from repro.fs.changelog import ChangeJournal
 from tests.conftest import NTHREADS, build_demo_tree
 
 
@@ -135,3 +136,163 @@ class TestDiff:
 
         diff = diff_indexes(GUFIIndex.open(v_old), GUFIIndex.open(v_new))
         assert diff.total_mutations == 1
+
+
+class TestIncrementalRefresh:
+    """refresh(mode="incremental"): changefeed apply to the published
+    version in place, with overflow falling back to a full rebuild."""
+
+    def _refresher(self, tmp_path, capacity=65536):
+        tree = build_demo_tree()
+        journal = ChangeJournal(capacity=capacity)
+        return tree, journal, IndexRefresher(
+            tree, tmp_path / "pub",
+            opts=BuildOptions(nthreads=NTHREADS),
+            keep_versions=2, journal=journal,
+        )
+
+    def test_incremental_applies_in_place(self, tmp_path):
+        tree, journal, r = self._refresher(tmp_path)
+        first = r.refresh()
+        tree.create_file("/home/bob/inc.dat", size=9, uid=1002, gid=1002)
+        record = r.refresh(mode="incremental")
+        assert record.mode == "incremental"
+        assert record.version == first.version  # no new version dir
+        assert record.events_applied == 1
+        assert record.cursor == journal.head
+        assert len(r.versions()) == 1
+        rows = [
+            x[0]
+            for x in GUFIQuery(r.current(), nthreads=NTHREADS)
+            .run(Q1_LIST_PATHS).rows
+        ]
+        assert "/home/bob/inc.dat" in rows
+
+    def test_incremental_with_no_changes_is_noop(self, tmp_path):
+        _, _, r = self._refresher(tmp_path)
+        r.refresh()
+        record = r.refresh(mode="incremental")
+        assert record.mode == "incremental"
+        assert record.events_applied == 0
+
+    def test_incremental_without_journal_raises(self, tmp_path):
+        r = IndexRefresher(build_demo_tree(), tmp_path / "pub",
+                           opts=BuildOptions(nthreads=NTHREADS))
+        with pytest.raises(ValueError):
+            r.refresh(mode="incremental")
+
+    def test_unknown_mode_raises(self, tmp_path):
+        _, _, r = self._refresher(tmp_path)
+        with pytest.raises(ValueError):
+            r.refresh(mode="differential")
+
+    def test_incremental_before_first_publish_falls_back(self, tmp_path):
+        tree, _, r = self._refresher(tmp_path)
+        tree.create_file("/public/early.txt", size=1, uid=0, gid=0)
+        record = r.refresh(mode="incremental")
+        assert record.mode == "full"
+        assert record.version == 0
+
+    def test_overflow_falls_back_to_full_rebuild(self, tmp_path):
+        tree, journal, r = self._refresher(tmp_path, capacity=3)
+        first = r.refresh()
+        for i in range(8):  # far past the journal bound
+            tree.create_file(f"/public/of{i}.txt", size=1, uid=0, gid=0)
+        assert journal.overflowed(first.cursor)
+        record = r.refresh(mode="incremental")
+        assert record.mode == "full"
+        assert record.version == first.version + 1
+        rows = [
+            x[0]
+            for x in GUFIQuery(r.current(), nthreads=NTHREADS)
+            .run(Q1_LIST_PATHS).rows
+        ]
+        assert "/public/of7.txt" in rows
+
+
+class TestDiffMoves:
+    """diff_latest with a journal: renames are one move each, not a
+    create + remove pair (ISSUE satellite: IndexDiff rename-as-move)."""
+
+    def _refresher(self, tmp_path):
+        tree = build_demo_tree()
+        journal = ChangeJournal()
+        return tree, IndexRefresher(
+            tree, tmp_path / "pub",
+            opts=BuildOptions(nthreads=NTHREADS),
+            keep_versions=2, journal=journal,
+        )
+
+    def test_file_rename_is_one_move(self, tmp_path):
+        tree, r = self._refresher(tmp_path)
+        r.refresh()
+        tree.rename("/public/readme", "/home/bob/readme")
+        r.refresh()
+        diff = r.diff_latest()
+        assert diff.moved == [("/public/readme", "/home/bob/readme")]
+        assert diff.created == [] and diff.removed == []
+        assert diff.bytes_delta == 0
+        assert diff.total_mutations == 1
+
+    def test_dir_rename_moves_every_descendant(self, tmp_path):
+        tree, r = self._refresher(tmp_path)
+        r.refresh()
+        tree.rename("/home/bob", "/bobhome")
+        r.refresh()
+        diff = r.diff_latest()
+        assert ("/home/bob/b.txt", "/bobhome/b.txt") in diff.moved
+        assert (
+            "/home/bob/secret/s.key", "/bobhome/secret/s.key"
+        ) in diff.moved
+        assert diff.created == [] and diff.removed == []
+
+    def test_chained_renames_compose(self, tmp_path):
+        tree, r = self._refresher(tmp_path)
+        r.refresh()
+        tree.rename("/public/readme", "/public/r1")
+        tree.rename("/public/r1", "/public/r2")
+        r.refresh()
+        diff = r.diff_latest()
+        assert diff.moved == [("/public/readme", "/public/r2")]
+
+    def test_rename_plus_resize_still_a_move(self, tmp_path):
+        """A move whose target also changed size contributes the size
+        delta, once."""
+        tree, r = self._refresher(tmp_path)
+        r.refresh()
+        tree.rename("/public/readme", "/public/r2")
+        tree.unlink("/public/r2")
+        tree.create_file("/public/r2", size=142, uid=0, gid=0)
+        r.refresh()
+        diff = r.diff_latest()
+        # readme (42B) vanished into an unrelated recreate: path diff
+        # rules apply — the recreated file is not the moved inode but
+        # the path-keyed diff cannot tell, and the paper's passive
+        # query only needs byte-conservation:
+        assert diff.bytes_delta == 142 - 42
+
+    def test_without_journal_rename_is_create_plus_remove(self, tmp_path):
+        tree = build_demo_tree()
+        r = IndexRefresher(tree, tmp_path / "pub",
+                           opts=BuildOptions(nthreads=NTHREADS),
+                           keep_versions=2)
+        r.refresh()
+        tree.rename("/public/readme", "/home/bob/readme")
+        r.refresh()
+        diff = r.diff_latest()
+        assert diff.moved == []
+        assert diff.created == ["/home/bob/readme"]
+        assert diff.removed == ["/public/readme"]
+
+    def test_journal_retained_across_retirement_window(self, tmp_path):
+        """Three full refreshes with keep_versions=2: the oldest
+        version's events may be trimmed, but the window between the
+        two *retained* versions must still diff as moves."""
+        tree, r = self._refresher(tmp_path)
+        r.refresh()
+        tree.create_file("/public/x1", size=1, uid=0, gid=0)
+        r.refresh()
+        tree.rename("/public/x1", "/public/x2")
+        r.refresh()
+        diff = r.diff_latest()
+        assert diff.moved == [("/public/x1", "/public/x2")]
