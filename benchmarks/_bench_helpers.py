@@ -2,9 +2,14 @@
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: canonical bench artifacts also land at the repository root — CI
+#: fails a smoke run whose ``BENCH_*.json`` is missing from here
+REPO_ROOT = Path(__file__).parent.parent
 
 #: this sandbox serialises syscalls across threads, so wall-clock
 #: benches use small pools; the modelled-device figures are pool-size
@@ -13,6 +18,31 @@ NTHREADS = 2
 
 #: dataset-2-shaped namespace scale for the macro benches (Figs 8-10).
 DS2_SCALE = 0.0003
+
+
+def save_bench_report(name: str, report: dict) -> Path:
+    """Write ``BENCH_<name>.json`` to both homes: the repo root (the
+    canonical artifact — CI checks it exists after every smoke run)
+    and ``benchmarks/results/`` (alongside the human-readable tables).
+    Returns the canonical (root) path."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = json.dumps(report, indent=2) + "\n"
+    (RESULTS_DIR / f"BENCH_{name}.json").write_text(text)
+    out = REPO_ROOT / f"BENCH_{name}.json"
+    out.write_text(text)
+    return out
+
+
+def load_bench_baseline(name: str) -> dict | None:
+    """Read a recorded ``BENCH_<name>.json``, preferring the canonical
+    repo-root copy and falling back to ``benchmarks/results/``."""
+    for path in (
+        REPO_ROOT / f"BENCH_{name}.json",
+        RESULTS_DIR / f"BENCH_{name}.json",
+    ):
+        if path.exists():
+            return json.loads(path.read_text())
+    return None
 
 
 def save_table(name: str, *tables) -> None:

@@ -23,7 +23,6 @@ CI smoke:        PYTHONPATH=src python benchmarks/bench_changefeed.py --smoke
 
 from __future__ import annotations
 
-import json
 import statistics
 import sys
 import time
@@ -31,7 +30,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from _bench_helpers import NTHREADS, RESULTS_DIR
+from _bench_helpers import NTHREADS, save_bench_report
 
 from repro.core.build import BuildOptions, dir2index
 from repro.core.changefeed import changefeed2index
@@ -154,10 +153,7 @@ def check_targets(report: dict, smoke: bool) -> None:
 
 
 def save_report(report: dict) -> Path:
-    RESULTS_DIR.mkdir(exist_ok=True)
-    out = RESULTS_DIR / "BENCH_changefeed.json"
-    out.write_text(json.dumps(report, indent=2) + "\n")
-    return out
+    return save_bench_report("changefeed", report)
 
 
 def bench_changefeed(tmp_path_factory):

@@ -36,7 +36,6 @@ Run via pytest:  pytest benchmarks/bench_obs_overhead.py
 
 from __future__ import annotations
 
-import json
 import statistics
 import sys
 import time
@@ -44,7 +43,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from _bench_helpers import NTHREADS, RESULTS_DIR
+from _bench_helpers import NTHREADS, save_bench_report
 from bench_query_plan import NOW, QUERY, build_namespace
 
 from repro import obs
@@ -164,10 +163,7 @@ def check_targets(report: dict, smoke: bool = False) -> None:
 
 
 def save_report(report: dict) -> Path:
-    RESULTS_DIR.mkdir(exist_ok=True)
-    out = RESULTS_DIR / "BENCH_obs_overhead.json"
-    out.write_text(json.dumps(report, indent=2) + "\n")
-    return out
+    return save_bench_report("obs_overhead", report)
 
 
 def _print(report: dict) -> None:

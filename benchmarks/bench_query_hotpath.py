@@ -22,7 +22,6 @@ Run via pytest:  pytest benchmarks/bench_query_hotpath.py
 
 from __future__ import annotations
 
-import json
 import statistics
 import sys
 import time
@@ -30,7 +29,12 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from _bench_helpers import DS2_SCALE, NTHREADS, RESULTS_DIR
+from _bench_helpers import (
+    DS2_SCALE,
+    NTHREADS,
+    load_bench_baseline,
+    save_bench_report,
+)
 
 from repro.core.build import BuildOptions, build_from_stanzas
 from repro.core.index import GUFIIndex
@@ -258,10 +262,7 @@ def smoke_check(ns, index, report: dict, baseline: dict, tolerance: float) -> No
 
 
 def save_report(report: dict) -> Path:
-    RESULTS_DIR.mkdir(exist_ok=True)
-    out = RESULTS_DIR / "BENCH_query_hotpath.json"
-    out.write_text(json.dumps(report, indent=2) + "\n")
-    return out
+    return save_bench_report("query_hotpath", report)
 
 
 def bench_query_hotpath(tmp_path_factory):
@@ -296,8 +297,8 @@ def main(argv: list[str] | None = None) -> int:
         report = run_hotpath_bench(ns, index)
         check_targets(report)
         if args.smoke:
-            baseline_path = RESULTS_DIR / "BENCH_query_hotpath.json"
-            baseline = json.loads(baseline_path.read_text())
+            baseline = load_bench_baseline("query_hotpath")
+            assert baseline is not None, "no recorded BENCH_query_hotpath.json"
             smoke_check(ns, index, report, baseline, args.tolerance)
             print("smoke ok: warm-path ratios within tolerance of baseline")
         else:

@@ -21,7 +21,6 @@ Run via pytest:  pytest benchmarks/bench_query_plan.py
 
 from __future__ import annotations
 
-import json
 import statistics
 import sys
 import time
@@ -29,7 +28,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from _bench_helpers import NTHREADS, RESULTS_DIR
+from _bench_helpers import NTHREADS, save_bench_report
 
 from repro.core.build import BuildOptions, dir2index
 from repro.core.query import GUFIQuery
@@ -155,10 +154,7 @@ def check_targets(report: dict, smoke: bool = False) -> None:
 
 
 def save_report(report: dict) -> Path:
-    RESULTS_DIR.mkdir(exist_ok=True)
-    out = RESULTS_DIR / "BENCH_query_plan.json"
-    out.write_text(json.dumps(report, indent=2) + "\n")
-    return out
+    return save_bench_report("query_plan", report)
 
 
 def _build_index(tmp_root: Path, smoke: bool):

@@ -19,7 +19,6 @@ CI smoke:        PYTHONPATH=src python benchmarks/bench_scatter_gather.py --smok
 
 from __future__ import annotations
 
-import json
 import statistics
 import sys
 import time
@@ -27,7 +26,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from _bench_helpers import DS2_SCALE, NTHREADS, RESULTS_DIR
+from _bench_helpers import DS2_SCALE, NTHREADS, save_bench_report
 
 from repro import obs
 from repro.core.build import BuildOptions, dir2index
@@ -150,10 +149,7 @@ def check_targets(report: dict) -> None:
 
 
 def save_report(report: dict) -> Path:
-    RESULTS_DIR.mkdir(exist_ok=True)
-    out = RESULTS_DIR / "BENCH_scatter_gather.json"
-    out.write_text(json.dumps(report, indent=2) + "\n")
-    return out
+    return save_bench_report("scatter_gather", report)
 
 
 def bench_scatter_gather(tmp_path_factory):

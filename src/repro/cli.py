@@ -58,6 +58,27 @@ def _add_processes(p: argparse.ArgumentParser) -> None:
                         "(1 = single-process)")
 
 
+def _add_result_cache(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--result-cache", action="store_true",
+                   help="materialize query results and replay them while "
+                        "the visited directories' stamps (and the "
+                        "changefeed cursor) prove them current")
+    p.add_argument("--result-cache-mb", type=float, default=64.0,
+                   metavar="MB",
+                   help="result-cache byte budget (default 64)")
+
+
+def _result_cache(args: argparse.Namespace):
+    """A ResultCache per the CLI flags, or None when disabled."""
+    if not getattr(args, "result_cache", False):
+        return None
+    from repro.core.engine import ResultCache
+
+    return ResultCache(
+        max_bytes=max(1, int(args.result_cache_mb * 1024 * 1024))
+    )
+
+
 def _add_obs(p: argparse.ArgumentParser) -> None:
     p.add_argument("--metrics", action="store_true",
                    help="record process metrics and print the table on exit")
@@ -191,7 +212,8 @@ def cmd_query(args: argparse.Namespace) -> int:
             entries_shaped=False,
         )
     q = QueryEngine(index, creds=_creds(args), nthreads=args.nthreads,
-                    processes=args.processes)
+                    processes=args.processes,
+                    result_cache=_result_cache(args))
     result = q.run(spec, args.start, plan=plan)
     for row in result.rows:
         print("\t".join("" if v is None else str(v) for v in row))
@@ -210,7 +232,8 @@ def cmd_query(args: argparse.Namespace) -> int:
 def cmd_find(args: argparse.Namespace) -> int:
     index = GUFIIndex.open(args.index_root)
     tools = GUFITools(index, creds=_creds(args), nthreads=args.nthreads,
-                      processes=args.processes)
+                      processes=args.processes,
+                      result_cache=_result_cache(args))
     filters = FindFilters(
         name_like=args.name, ftype=args.type,
         min_size=args.min_size, max_size=args.max_size,
@@ -459,6 +482,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "(descent stops there too)")
     _add_threads(p)
     _add_processes(p)
+    _add_result_cache(p)
     _add_identity(p)
     _add_obs(p)
     p.set_defaults(func=cmd_query)
@@ -479,6 +503,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "(results are identical; for comparison)")
     _add_threads(p)
     _add_processes(p)
+    _add_result_cache(p)
     _add_identity(p)
     _add_obs(p)
     p.set_defaults(func=cmd_find)

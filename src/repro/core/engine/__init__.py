@@ -12,7 +12,10 @@ Public surface of :mod:`repro.core.engine`:
 * the layer classes themselves (:class:`Traversal`,
   :class:`StageRunner`, :class:`MergeRunner`) for extension;
 * :class:`ScatterGatherEngine` / :func:`plan_shards` — the
-  multi-process scatter-gather front end behind ``processes > 1``.
+  multi-process scatter-gather front end behind ``processes > 1``;
+* :class:`ResultCache` / :class:`CaptureSink` — the materialized
+  query-result cache behind ``result_cache=`` (changefeed-driven
+  invalidation; see :mod:`repro.core.engine.resultcache`).
 
 :class:`repro.core.query.GUFIQuery` remains the stable facade over
 this engine; import from here when you need sink control or direct
@@ -20,6 +23,7 @@ layer access.
 """
 
 from .engine import QueryEngine
+from .resultcache import CacheEntry, CaptureSink, ResultCache
 from .scatter import ScatterGatherEngine, ShardPlan, plan_shards
 from .sinks import (
     AggregateDBSink,
@@ -43,6 +47,8 @@ from .types import (
 __all__ = [
     "AggregateDBSink",
     "BoundedSink",
+    "CacheEntry",
+    "CaptureSink",
     "MemorySink",
     "MergeRunner",
     "PaginatedSink",
@@ -50,6 +56,7 @@ __all__ = [
     "QueryPermissionError",
     "QueryResult",
     "QuerySpec",
+    "ResultCache",
     "ResultSink",
     "Row",
     "ScatterGatherEngine",

@@ -51,6 +51,7 @@ from ..index import GUFIIndex
 from ..plan import QueryPlan
 from ..session import ThreadStatePool, _ThreadState
 from ..xattrs import build_xattr_views, drop_xattr_views
+from .resultcache import CacheEntry, CaptureSink, ResultCache, make_key
 from .sinks import MemorySink, ResultSink, ThreadFileSink
 from .stages import MergeRunner, StageRunner, run_sql
 from .traversal import Traversal, normalize_path, path_depth
@@ -82,6 +83,7 @@ class QueryEngine:
         groups: dict[int, str] | None = None,
         processes: int = 1,
         mp_start_method: str | None = None,
+        result_cache: ResultCache | None = None,
     ) -> None:
         self.index = index
         self.creds = creds
@@ -98,6 +100,17 @@ class QueryEngine:
         #: (None = the platform default, fork on Linux)
         self.mp_start_method = mp_start_method
         self._scatter_engine: Any = None
+        #: optional materialized-result cache (engine/resultcache.py).
+        #: Sharing one instance across engines/sessions is the point —
+        #: entries are credential-scoped by key, so a shared cache is
+        #: safe across principals.
+        self.result_cache = result_cache
+        if result_cache is not None:
+            result_cache.bind_index(index)
+        #: collect per-run visited paths (the cache's validity token).
+        #: Scatter workers have no cache of their own but set this on
+        #: the parent's behalf so the gathered result can be stored.
+        self.collect_visited = result_cache is not None
 
     def close(self) -> None:
         """Release the session's pooled connections and scratch files."""
@@ -130,10 +143,100 @@ class QueryEngine:
         worker *process* running its own engine, and the results are
         merged back through ``sink`` (see
         :mod:`repro.core.engine.scatter`). ``processes=1`` is exactly
-        the historical single-process path."""
+        the historical single-process path.
+
+        With a :class:`ResultCache` attached, the run is served from a
+        revalidated materialized entry when one exists (rows replayed
+        through ``sink``), and otherwise captured through a tee for
+        the next caller — see :mod:`repro.core.engine.resultcache`."""
+        if self.result_cache is not None:
+            return self._run_cached(spec, start, plan, sink)
+        return self._run_dispatch(spec, start, plan, sink)
+
+    def _run_dispatch(
+        self,
+        spec: QuerySpec,
+        start: str,
+        plan: QueryPlan | None,
+        sink: ResultSink | None,
+    ) -> QueryResult:
+        """Route one uncached run: scatter-gather or single-process."""
         if self.processes > 1:
             return self._scatter().run(spec, start, plan=plan, sink=sink)
         return self._run_local(spec, start, plan, sink)
+
+    def _run_cached(
+        self,
+        spec: QuerySpec,
+        start: str,
+        plan: QueryPlan | None,
+        sink: ResultSink | None,
+    ) -> QueryResult:
+        """The result-cache front end of :meth:`run`: replay a valid
+        entry, or run for real through a capturing tee and store."""
+        cache = self.result_cache
+        assert cache is not None
+        key = make_key(self.creds, spec, plan, normalize_path(start))
+        entry = cache.lookup(key, self.index)
+        if entry is not None:
+            return self._observed(
+                "query.run",
+                spec,
+                start,
+                lambda otr: self._replay(spec, entry, sink),
+            )
+        # Snapshot the invalidation sequence *before* the run: a write
+        # landing mid-run bumps it and the store aborts (the rows may
+        # predate the write its stamps postdate).
+        inv_seq = cache.invalidation_seq
+        capture = CaptureSink(
+            self._default_sink(spec) if sink is None else sink,
+            cache.max_entry_bytes,
+        )
+        result = self._run_dispatch(spec, start, plan, capture)
+        cache.store(key, capture, result, self.index, inv_seq)
+        return result
+
+    def _replay(
+        self,
+        spec: QuerySpec,
+        entry: CacheEntry,
+        sink: ResultSink | None,
+    ) -> QueryResult:
+        """Serve one materialized entry through the caller's sink —
+        the sink sees the same emit/emit_final/finish sequence a real
+        run produces, so caps, paging, files, and aggregate databases
+        all behave identically."""
+        t0 = time.monotonic()
+        sink = self._default_sink(spec) if sink is None else sink
+        sink._claim()
+        st = self.pool.acquire(spec.I, sink.thread_output_path(0))
+        output_files: list[str] = []
+        try:
+            if entry.rows:
+                sink.emit(st, entry.rows)
+            if entry.final_rows:
+                sink.emit_final(entry.final_rows)
+            summary = sink.finish([st])
+        finally:
+            out_path = st.finish_output()
+            if out_path is not None:
+                output_files.append(out_path)
+            self.pool.release([st])
+        c = entry.counters
+        return QueryResult(
+            rows=summary.rows,
+            elapsed=time.monotonic() - t0,
+            dirs_visited=c["dirs_visited"],
+            dirs_denied=c["dirs_denied"],
+            dbs_opened=c["dbs_opened"],
+            dirs_errored=c["dirs_errored"],
+            dirs_pruned_by_plan=c["dirs_pruned_by_plan"],
+            attaches_elided=c["attaches_elided"],
+            output_files=sorted(output_files) if output_files else None,
+            truncated=summary.truncated,
+            cached=True,
+        )
 
     def _run_local(
         self,
@@ -489,6 +592,7 @@ class QueryEngine:
         # read once so the per-directory path tests plain locals.
         timing = obs.metrics().enabled
         tracing = otr.enabled
+        collect = self.collect_visited
         stage = StageRunner(index, spec, self.tracer, otr, timing, tracing)
         # Thread-ident -> checked-out state, for *this* run only (the
         # walker creates fresh threads per walk). The lock is taken
@@ -517,6 +621,12 @@ class QueryEngine:
                 return [(child, True) for child in paths]
 
             st = thread_state()
+            if collect:
+                # Every touched directory — visited, denied, pruned,
+                # elided, errored, or absent — is part of the result's
+                # validity token: a change to any of them could change
+                # the answer.
+                st.touched.append(source_path)
             st.ctx.current_path = source_path
             depth = path_depth(source_path)
             st.ctx.current_depth = depth
@@ -549,9 +659,8 @@ class QueryEngine:
                     # Cold path: one attach serves both the permission
                     # check (reading the summary record) and, if
                     # allowed, the per-directory queries — then the
-                    # record is published to the cache. The stamp is
-                    # taken before the read so a racing writer
-                    # invalidates conservatively.
+                    # record is published to the cache, stamp-checked
+                    # on both sides of the read.
                     stamp = dbmod.file_stamp(db_path)
                     if stamp is None:
                         return []
@@ -572,7 +681,11 @@ class QueryEngine:
                         return []
                     except Exception:
                         return []
-                    index.cache.put_meta(source_path, stamp, meta)
+                    if dbmod.file_stamp(db_path) == stamp:
+                        # Publish only when the file is unchanged
+                        # across the read — a racing rewrite must
+                        # never pin its predecessor's DirMeta.
+                        index.cache.put_meta(source_path, stamp, meta)
                     if not trav.permitted(meta):
                         st.denied += 1
                         return []
@@ -640,6 +753,12 @@ class QueryEngine:
         t_time = sum(st.t_time for st in states)
         s_time = sum(st.s_time for st in states)
         e_time = sum(st.e_time for st in states)
+        visited_paths: list[str] | None = None
+        if collect:
+            touched: list[str] = []
+            for st in states:
+                touched.extend(st.touched)
+            visited_paths = touched
 
         # --------------------------------------------------------------
         # Merge phase: J per thread database, then G on the aggregate.
@@ -689,6 +808,7 @@ class QueryEngine:
             output_files=sorted(output_files) if output_files else None,
             truncated=summary.truncated,
             walk_stats=stats,
+            visited_paths=visited_paths,
             stage_seconds=(
                 {
                     "T": t_time,

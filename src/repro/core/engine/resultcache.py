@@ -1,0 +1,593 @@
+"""Materialized query results with changefeed-driven invalidation.
+
+The tsummary/rollup optimizations cut work *per query*; nothing in the
+paper's design memoizes *across* queries, so a dashboard re-running
+the same selective query pays the full permission-gated traversal
+every time even when the index has not changed. This module adds that
+missing layer: a bounded, credential-scoped :class:`ResultCache` that
+materializes complete result row sets (walk-stage rows plus the J/G
+aggregate output) keyed by ``(resolved credentials, normalized query
+spec, plan window, start path)``.
+
+Correctness model — an entry may be served only when it is *provably*
+equal to what a cold run would return right now:
+
+* **Validity token.** At capture time each entry records (a) the
+  stamp of every directory the walk visited — the ``db.db``
+  :func:`~repro.core.db.file_stamp` (inode, mtime_ns, size) plus the
+  physical directory's :func:`~repro.core.db.dir_stamp` for listing
+  changes — including the start path's ancestors (whose permission
+  bits gate reachability), and (b) the index's applied changefeed
+  cursor (:class:`~repro.core.checkpoint.ChangefeedCheckpoint`).
+  Revalidation is O(visited dirs) stats — not O(traversal), which
+  would open every database and re-run SQL — or O(journal drain)
+  when the changefeed fast path applies (below).
+
+* **Push invalidation.** Every writer in this codebase (update,
+  refresh, rollup/unrollup, changefeed apply) already announces
+  itself through :class:`~repro.core.index.DirMetaCache`'s
+  ``invalidate*`` hooks; the result cache subscribes to them and
+  drops exactly the entries whose visited set intersects the
+  invalidated path (or subtree). An entry for ``/home/alice`` is
+  untouched by churn under ``/proj``.
+
+* **Changefeed fast path.** When a :class:`~repro.fs.changelog
+  .ChangeJournal` is attached, a lookup first consults the applied
+  cursor: if no invalidation reached this cache since capture and
+  the events in ``(entry cursor, applied cursor]`` are retained and
+  touch none of the entry's visited directories, the entry is valid
+  without a single stat. An evicted window (overflow) falls back to
+  the stamp pass — never to trust.
+
+* **Capture races.** Rows are captured through a tee
+  (:class:`CaptureSink`) while stamps are taken *after* the run; a
+  write racing the run could therefore stamp fresh over stale rows.
+  Three guards close this: any invalidation observed between run
+  start and store aborts the capture; each visited directory's
+  store-time stamp is cross-checked against the stamp the walk's
+  DirMeta cache validated (a mismatch means an out-of-band rewrite
+  landed mid-run — capture aborted); and the DirMeta cache itself
+  only publishes entries whose stamp is unchanged across the read
+  (see :meth:`GUFIIndex.cached_dir_meta`).
+
+* **Credential scoping.** The key includes the resolved
+  ``(uid, gid, groups)`` — the same key the server's warm-session
+  LRU uses — so entries can never be replayed across principals,
+  and an optional per-scope byte budget keeps one tenant's hot
+  queries from evicting everyone else's.
+
+The cache assumes deterministic SQL (no ``random()``/``now``-style
+terms), the same assumption the scatter-gather merge contract already
+makes for ``gufi_query``-shaped specs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Any, Iterable
+
+from repro import obs
+
+from .. import db as dbmod
+from ..checkpoint import ChangefeedCheckpoint
+from .sinks import ResultSink, Row, SinkSummary
+from .types import QueryResult, QuerySpec
+
+if TYPE_CHECKING:
+    from repro.fs.changelog import ChangeEvent, ChangeJournal
+    from repro.fs.permissions import Credentials
+
+    from ..index import GUFIIndex
+    from ..plan import QueryPlan
+    from ..session import _ThreadState
+
+#: (uid, gid, supplementary groups) — the server's session-LRU key
+CredKey = tuple[int, int, frozenset[int]]
+#: full cache key: (credentials, normalized spec, plan window, start)
+CacheKey = tuple[CredKey, tuple, tuple | None, str]
+#: db.db file stamp (None: no database at capture time)
+DbStamp = tuple[int, int, int] | None
+#: physical index-directory stamp (None: listing not load-bearing)
+DirStamp = tuple[int, int] | None
+
+#: QueryResult counters replayed verbatim from the captured run
+_COUNTER_FIELDS = (
+    "dirs_visited",
+    "dirs_denied",
+    "dbs_opened",
+    "dirs_errored",
+    "dirs_pruned_by_plan",
+    "attaches_elided",
+)
+
+
+def _norm_sql(sql: str | None) -> str | None:
+    """Whitespace-collapsed SQL, so formatting differences share an
+    entry (the same normalization ``spec_label`` uses)."""
+    if not sql:
+        return None
+    return " ".join(sql.split())
+
+
+def spec_key(spec: QuerySpec) -> tuple:
+    """Normalized row-determining fields of a spec.
+
+    ``output_prefix`` is deliberately excluded: it only chooses the
+    default *sink* shape, never the rows, and replay goes through the
+    caller's sink anyway."""
+    return (
+        _norm_sql(spec.I),
+        _norm_sql(spec.T),
+        _norm_sql(spec.S),
+        _norm_sql(spec.E),
+        _norm_sql(spec.J),
+        _norm_sql(spec.G),
+        bool(spec.xattrs),
+        bool(spec.t_no_prune),
+    )
+
+
+def plan_key(plan: "QueryPlan | None") -> tuple | None:
+    """The plan window as a value key (QueryPlan is a frozen dataclass
+    of primitives)."""
+    if plan is None:
+        return None
+    return dataclasses.astuple(plan)
+
+
+def cred_key(creds: "Credentials") -> CredKey:
+    return (creds.uid, creds.gid, frozenset(creds.groups))
+
+
+def make_key(
+    creds: "Credentials",
+    spec: QuerySpec,
+    plan: "QueryPlan | None",
+    start: str,
+) -> CacheKey:
+    return (cred_key(creds), spec_key(spec), plan_key(plan), start)
+
+
+def _ancestors(path: str) -> list[str]:
+    """Every strict ancestor of ``path`` (normalized), root included:
+    their search bits gate reachability, so their stamps are part of
+    the validity token."""
+    if path == "/":
+        return []
+    parts = [p for p in path.split("/") if p]
+    out = ["/"]
+    cur = ""
+    for part in parts[:-1]:
+        cur = f"{cur}/{part}"
+        out.append(cur)
+    return out
+
+
+def _rows_nbytes(rows: Iterable[Row]) -> int:
+    """Cheap size estimate of a row batch for the byte budget."""
+    n = 0
+    for row in rows:
+        n += 64
+        for v in row:
+            if isinstance(v, (str, bytes)):
+                n += len(v)
+            else:
+                n += 16
+    return n
+
+
+class CaptureSink(ResultSink):
+    """Tee wrapper: forwards every callback to the caller's sink while
+    recording the full pre-cap row stream for the cache.
+
+    Recording happens *before* the inner sink absorbs the batch, so a
+    bounded/paginated caller sink's row cap never truncates the cached
+    entry — replay re-applies whatever cap the future caller brings.
+    A capture that outgrows ``max_bytes`` poisons itself (recording
+    stops, rows are freed, forwarding continues untouched).
+    """
+
+    def __init__(self, inner: ResultSink, max_bytes: int) -> None:
+        self.inner = inner
+        self.max_bytes = max_bytes
+        self.rows: list[Row] = []
+        self.final_rows: list[Row] = []
+        self.nbytes = 0
+        self.overflowed = False
+        self._lock = threading.Lock()
+
+    def _claim(self) -> None:
+        super()._claim()
+        self.inner._claim()
+
+    def thread_output_path(self, ordinal: int) -> str | None:
+        return self.inner.thread_output_path(ordinal)
+
+    def _record(self, bucket: list[Row], rows: list[Row]) -> None:
+        if self.overflowed:
+            return
+        with self._lock:
+            if self.overflowed:
+                return
+            self.nbytes += _rows_nbytes(rows)
+            if self.nbytes > self.max_bytes:
+                self.overflowed = True
+                self.rows = []
+                self.final_rows = []
+                return
+            bucket.extend(rows)
+
+    def emit(self, st: "_ThreadState", rows: list[Row]) -> None:
+        self._record(self.rows, rows)
+        self.inner.emit(st, rows)
+
+    def emit_final(self, rows: list[Row]) -> None:
+        self._record(self.final_rows, rows)
+        self.inner.emit_final(rows)
+
+    def finish(self, states: list["_ThreadState"]) -> SinkSummary:
+        return self.inner.finish(states)
+
+
+@dataclasses.dataclass
+class CacheEntry:
+    """One materialized result plus its validity token."""
+
+    key: CacheKey
+    #: walk-stage rows (per-directory batches, capture order)
+    rows: list[Row]
+    #: G-stage rows (emitted once via ``emit_final`` on replay)
+    final_rows: list[Row]
+    #: QueryResult counters replayed verbatim
+    counters: dict[str, int]
+    #: visited path -> (db.db stamp, physical-dir stamp)
+    stamps: dict[str, tuple[DbStamp, DirStamp]]
+    #: applied changefeed cursor at capture time
+    cursor: int
+    #: the cache's invalidation sequence at capture/last validation
+    inv_seq: int
+    nbytes: int
+    hits: int = 0
+
+
+class ResultCache:
+    """Bounded credential-scoped cache of materialized query results.
+
+    Thread-safe: the server shares one instance across every warm
+    session. ``max_scope_bytes`` bounds how much of the budget a
+    single credential key may hold (the per-tenant budget); the global
+    bound evicts LRU-first across scopes.
+    """
+
+    def __init__(
+        self,
+        max_bytes: int = 64 * 1024 * 1024,
+        max_entries: int = 256,
+        max_entry_bytes: int | None = None,
+        max_scope_bytes: int | None = None,
+        journal: "ChangeJournal | None" = None,
+    ) -> None:
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be > 0")
+        self.max_bytes = max_bytes
+        self.max_entries = max_entries
+        self.max_entry_bytes = (
+            max_entry_bytes if max_entry_bytes is not None else max_bytes // 4
+        )
+        self.max_scope_bytes = max_scope_bytes
+        self.journal = journal
+        self._entries: OrderedDict[CacheKey, CacheEntry] = OrderedDict()
+        self._lock = threading.RLock()
+        self.total_bytes = 0
+        self._scope_bytes: dict[CredKey, int] = {}
+        #: bumped by every DirMetaCache invalidation on a bound index;
+        #: captures observe it to detect writes racing a run
+        self.invalidation_seq = 0
+        self._bound: list[Any] = []
+        # advisory counters (mirrored into obs metrics when enabled)
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.evictions = 0
+        self.capture_aborts = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def bind_index(self, index: "GUFIIndex") -> None:
+        """Subscribe to the index's DirMeta-cache invalidation hooks —
+        the push half of invalidation. Idempotent per index handle."""
+        cache = index.cache
+        if any(c is cache for c in self._bound):
+            return
+        cache.add_listener(self._on_invalidate)
+        self._bound.append(cache)
+
+    def attach_journal(self, journal: "ChangeJournal") -> None:
+        """Enable the changefeed fast path: lookups may validate from
+        the journal window instead of per-directory stats."""
+        self.journal = journal
+
+    # ------------------------------------------------------------------
+    # Push invalidation (DirMetaCache listener)
+    # ------------------------------------------------------------------
+    def _on_invalidate(self, path: str | None, subtree: bool) -> None:
+        rec = obs.metrics()
+        with self._lock:
+            self.invalidation_seq += 1
+            if not self._entries:
+                return
+            if path is None:
+                dropped = len(self._entries)
+                self._entries.clear()
+                self.total_bytes = 0
+                self._scope_bytes.clear()
+            else:
+                parent = path.rsplit("/", 1)[0] or "/"
+                prefix = path.rstrip("/") + "/"
+                doomed = [
+                    key
+                    for key, entry in self._entries.items()
+                    if self._touches(entry, path, parent, prefix, subtree)
+                ]
+                for key in doomed:
+                    self._drop_locked(key)
+                dropped = len(doomed)
+            if dropped:
+                self.invalidations += dropped
+                if rec.enabled:
+                    rec.counter(
+                        "gufi_result_cache_invalidations_total", dropped
+                    )
+
+    @staticmethod
+    def _touches(
+        entry: CacheEntry, path: str, parent: str, prefix: str, subtree: bool
+    ) -> bool:
+        stamps = entry.stamps
+        if path in stamps or parent in stamps:
+            return True
+        if subtree:
+            return any(p.startswith(prefix) for p in stamps)
+        return False
+
+    def _drop_locked(self, key: CacheKey) -> None:
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return
+        self.total_bytes -= entry.nbytes
+        scope = key[0]
+        left = self._scope_bytes.get(scope, 0) - entry.nbytes
+        if left > 0:
+            self._scope_bytes[scope] = left
+        else:
+            self._scope_bytes.pop(scope, None)
+
+    # ------------------------------------------------------------------
+    # Lookup / validation
+    # ------------------------------------------------------------------
+    def lookup(self, key: CacheKey, index: "GUFIIndex") -> CacheEntry | None:
+        """The entry for ``key``, revalidated — or None (miss)."""
+        rec = obs.metrics()
+        with self._lock:
+            entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            if rec.enabled:
+                rec.counter("gufi_result_cache_misses_total")
+            return None
+        t0 = time.perf_counter()
+        valid = self._validate(entry, index)
+        if rec.enabled:
+            rec.observe(
+                "gufi_result_cache_validate_seconds",
+                time.perf_counter() - t0,
+            )
+        with self._lock:
+            # the push hooks may have dropped or replaced it meanwhile
+            current = self._entries.get(key)
+            if current is not entry:
+                valid = False
+            if not valid:
+                if current is entry:
+                    self._drop_locked(key)
+                    self.invalidations += 1
+                    if rec.enabled:
+                        rec.counter("gufi_result_cache_invalidations_total")
+                self.misses += 1
+                if rec.enabled:
+                    rec.counter("gufi_result_cache_misses_total")
+                return None
+            self._entries.move_to_end(key)
+            entry.hits += 1
+            self.hits += 1
+        if rec.enabled:
+            rec.counter("gufi_result_cache_hits_total")
+        return entry
+
+    def _validate(self, entry: CacheEntry, index: "GUFIIndex") -> bool:
+        applied = ChangefeedCheckpoint(index.root).load()
+        journal = self.journal
+        if journal is not None:
+            # Changefeed fast path: provably untouched without a stat.
+            # Requires that no invalidation reached this cache since
+            # the entry was (re)validated — the push hooks are how
+            # non-changefeed writers (rollup, update, refresh)
+            # announce themselves.
+            if entry.inv_seq == self.invalidation_seq:
+                events = journal.events_between(entry.cursor, applied)
+                if events is not None and not any(
+                    self._event_touches(e, entry.stamps) for e in events
+                ):
+                    entry.cursor = applied
+                    return True
+            # Precise event-driven invalidation: a retained window
+            # that touches a visited directory kills the entry without
+            # the stamp pass; an evicted window (overflow) falls
+            # through to stamps — never to trust.
+            if applied > entry.cursor:
+                events = journal.events_between(entry.cursor, applied)
+                if events is not None and any(
+                    self._event_touches(e, entry.stamps) for e in events
+                ):
+                    return False
+        # Stamp pass: O(visited dirs) stats against the recorded token.
+        for path, (db_stamp, dir_stamp) in entry.stamps.items():
+            if dbmod.file_stamp(index.db_path(path)) != db_stamp:
+                return False
+            if dir_stamp is not None:
+                if dbmod.dir_stamp(index.index_dir(path)) != dir_stamp:
+                    return False
+        entry.cursor = applied
+        entry.inv_seq = self.invalidation_seq
+        return True
+
+    @staticmethod
+    def _event_touches(
+        event: "ChangeEvent", stamps: dict[str, tuple[DbStamp, DirStamp]]
+    ) -> bool:
+        """Conservative: does this journal event affect any visited
+        directory? File events touch their parent's database; directory
+        events touch the directory and its parent; structural directory
+        ops (rename/rmdir) touch the whole subtree."""
+        paths = [event.path]
+        if event.dst_path is not None:
+            paths.append(event.dst_path)
+        for p in paths:
+            if p in stamps:
+                return True
+            parent = p.rsplit("/", 1)[0] or "/"
+            if parent in stamps:
+                return True
+        if event.is_dir and event.op in ("rename", "rmdir"):
+            for p in paths:
+                prefix = p.rstrip("/") + "/"
+                if any(s.startswith(prefix) for s in stamps):
+                    return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Store
+    # ------------------------------------------------------------------
+    def store(
+        self,
+        key: CacheKey,
+        capture: CaptureSink,
+        result: QueryResult,
+        index: "GUFIIndex",
+        inv_seq_at_start: int,
+    ) -> bool:
+        """Materialize one finished run. Returns False (and caches
+        nothing) when the capture cannot be proven race-free or is
+        over budget."""
+        if capture.overflowed or result.visited_paths is None:
+            self.capture_aborts += 1
+            return False
+        if self.invalidation_seq != inv_seq_at_start:
+            # a writer invalidated something while the run was in
+            # flight: the rows may predate the write its stamps
+            # postdate — abort, the next run re-captures
+            self.capture_aborts += 1
+            return False
+        cache = index.cache
+        stamps: dict[str, tuple[DbStamp, DirStamp]] = {}
+        for path in set(result.visited_paths):
+            db_stamp = dbmod.file_stamp(index.db_path(path))
+            walk_stamp = cache.peek_stamp(path)
+            if walk_stamp is not None and db_stamp != walk_stamp:
+                self.capture_aborts += 1
+                return False
+            listing = cache.peek_subdir_stamp(path)
+            dir_stamp = dbmod.dir_stamp(index.index_dir(path))
+            if listing is not None and dir_stamp != listing:
+                self.capture_aborts += 1
+                return False
+            stamps[path] = (db_stamp, dir_stamp)
+        start = key[3]
+        for anc in _ancestors(start):
+            stamps.setdefault(
+                anc, (dbmod.file_stamp(index.db_path(anc)), None)
+            )
+        cursor = ChangefeedCheckpoint(index.root).load()
+        nbytes = capture.nbytes + 128 * len(stamps)
+        if nbytes > self.max_entry_bytes:
+            self.capture_aborts += 1
+            return False
+        entry = CacheEntry(
+            key=key,
+            rows=capture.rows,
+            final_rows=capture.final_rows,
+            counters={f: getattr(result, f) for f in _COUNTER_FIELDS},
+            stamps=stamps,
+            cursor=cursor,
+            inv_seq=inv_seq_at_start,
+            nbytes=nbytes,
+        )
+        rec = obs.metrics()
+        with self._lock:
+            if self.invalidation_seq != inv_seq_at_start:
+                self.capture_aborts += 1
+                return False
+            if key in self._entries:
+                self._drop_locked(key)
+            self._entries[key] = entry
+            self.total_bytes += nbytes
+            scope = key[0]
+            self._scope_bytes[scope] = (
+                self._scope_bytes.get(scope, 0) + nbytes
+            )
+            evicted = self._evict_locked(scope)
+            if evicted and rec.enabled:
+                rec.counter("gufi_result_cache_evictions_total", evicted)
+        return True
+
+    def _evict_locked(self, scope: CredKey) -> int:
+        """LRU eviction: first bring the storing scope under its
+        per-tenant budget, then the cache under its global bounds."""
+        evicted = 0
+        if self.max_scope_bytes is not None:
+            while self._scope_bytes.get(scope, 0) > self.max_scope_bytes:
+                victim = next(
+                    (k for k in self._entries if k[0] == scope), None
+                )
+                if victim is None:
+                    break
+                self._drop_locked(victim)
+                evicted += 1
+        while self._entries and (
+            self.total_bytes > self.max_bytes
+            or len(self._entries) > self.max_entries
+        ):
+            self._drop_locked(next(iter(self._entries)))
+            evicted += 1
+        self.evictions += evicted
+        return evicted
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.total_bytes = 0
+            self._scope_bytes.clear()
+            self.invalidation_seq += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "bytes": self.total_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "invalidations": self.invalidations,
+                "evictions": self.evictions,
+                "capture_aborts": self.capture_aborts,
+            }

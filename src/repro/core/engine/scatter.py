@@ -296,6 +296,9 @@ class _WorkerTask:
     result_path: str
     #: enable the worker's own metrics registry and ship a snapshot
     obs_metrics: bool
+    #: collect the shard's touched paths (the parent's result cache
+    #: needs them as a validity token; workers have no cache)
+    collect_paths: bool = False
     #: test hook, called with worker_id before any work (picklable
     #: module-level function; crash tests kill the process here)
     worker_init: Callable[[int], None] | None = None
@@ -314,6 +317,8 @@ class _WorkerResult:
     elapsed: float
     metrics: dict | None
     error: str | None
+    #: the shard's touched paths when the parent asked for them
+    visited: list[str] | None = None
 
 
 _COUNTER_FIELDS = (
@@ -351,6 +356,7 @@ def _worker_main(task: _WorkerTask) -> None:
             users=dict(task.users),
             groups=dict(task.groups),
         )
+        engine.collect_visited = task.collect_paths
         try:
             result = engine.run_shard(
                 task.spec,
@@ -373,6 +379,7 @@ def _worker_main(task: _WorkerTask) -> None:
             elapsed=result.elapsed,
             metrics=obs.snapshot().to_dict() if task.obs_metrics else None,
             error=None,
+            visited=result.visited_paths,
         )
     except BaseException:
         payload = _WorkerResult(
@@ -501,6 +508,7 @@ class ScatterGatherEngine:
                     scratch, f"scatter_{seq}_w{wid}.result.pkl"
                 ),
                 obs_metrics=timing,
+                collect_paths=engine.collect_visited,
                 worker_init=self.worker_init,
             )
             for wid, shard in enumerate(shards)
@@ -597,6 +605,20 @@ class ScatterGatherEngine:
                 r.worker_id: r.walk_processed + r.walk_errored for r in clean
             },
         )
+        visited_paths: list[str] | None = None
+        if engine.collect_visited and not crashes:
+            # A crashed worker's touched set is unknowable, so the
+            # whole token is withheld — the parent's cache then
+            # (correctly) refuses to store this run.
+            gathered: list[str] = []
+            complete = True
+            for res in clean:
+                if res.visited is None:
+                    complete = False
+                    break
+                gathered.extend(res.visited)
+            if complete:
+                visited_paths = gathered
         stage_seconds: dict[str, float] | None = None
         if timing:
             stage_seconds = {"T": 0.0, "S": 0.0, "E": 0.0, "J": 0.0, "G": g_time}
@@ -616,6 +638,7 @@ class ScatterGatherEngine:
             output_files=sorted(output_files) if output_files else None,
             truncated=summary.truncated,
             walk_stats=walk,
+            visited_paths=visited_paths,
             stage_seconds=stage_seconds,
         )
 

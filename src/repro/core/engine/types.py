@@ -74,6 +74,14 @@ class QueryResult:
     #: worker threads, J/G once), populated only when the process
     #: metrics recorder is enabled (see :mod:`repro.obs`)
     stage_seconds: dict[str, float] | None = None
+    #: every source path the walk touched (visited, denied, pruned,
+    #: elided, errored), collected only when a result cache needs a
+    #: validity token for this run (see engine/resultcache.py); None
+    #: when collection was off or the set is unreliable (worker crash)
+    visited_paths: list[str] | None = None
+    #: True when this result was replayed from the materialized result
+    #: cache instead of a traversal
+    cached: bool = False
 
     def scalar(self) -> object:
         """Convenience for single-value results."""

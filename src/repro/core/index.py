@@ -113,6 +113,36 @@ class DirMetaCache:
         self.subdir_hits = 0
         self.subdir_misses = 0
         self.invalidations = 0
+        #: invalidation listeners: ``cb(path | None, subtree: bool)``,
+        #: called after entries are dropped. The result cache hangs off
+        #: this so every writer that announces itself here invalidates
+        #: materialized results too (see engine/resultcache.py).
+        self._listeners: list = []
+
+    def add_listener(self, cb) -> None:
+        """Subscribe to the ``invalidate*`` hooks. ``cb(path, subtree)``
+        fires after each explicit invalidation: ``(path, False)`` for
+        one directory, ``(path, True)`` for a subtree, ``(None, True)``
+        for a full clear."""
+        self._listeners.append(cb)
+
+    def _notify(self, path: str | None, subtree: bool) -> None:
+        for cb in self._listeners:
+            cb(path, subtree)
+
+    # -- stamp peeks (no validation, no stat) -------------------------
+    def peek_stamp(self, source_path: str) -> tuple | None:
+        """The db.db stamp a cached DirMeta was validated against, or
+        None when nothing is cached. Lets the result cache cross-check
+        its store-time stamps against what the walk actually read."""
+        entry = self._meta.get(source_path)
+        return entry[0] if entry is not None else None
+
+    def peek_subdir_stamp(self, source_path: str) -> tuple | None:
+        """The directory stamp a cached child listing was validated
+        against, or None when nothing is cached."""
+        entry = self._subdirs.get(source_path)
+        return entry[0] if entry is not None else None
 
     # -- DirMeta -------------------------------------------------------
     def get_meta(self, source_path: str, db_path: Path | str) -> DirMeta | None:
@@ -150,6 +180,7 @@ class DirMetaCache:
         self._meta.pop(source_path, None)
         self._subdirs.pop(source_path, None)
         self.invalidations += 1
+        self._notify(source_path, False)
 
     def invalidate_subtree(self, source_path: str) -> None:
         """Drop everything at or below ``source_path`` (plus the
@@ -166,11 +197,13 @@ class DirMetaCache:
         parent = source_path.rsplit("/", 1)[0] or "/"
         self._subdirs.pop(parent, None)
         self.invalidations += 1
+        self._notify(source_path, True)
 
     def clear(self) -> None:
         self._meta.clear()
         self._subdirs.clear()
         self.invalidations += 1
+        self._notify(None, True)
 
     def stats(self) -> dict[str, int]:
         return {
@@ -377,7 +410,9 @@ class GUFIIndex:
             meta = self.read_dir_meta(conn)
         finally:
             conn.close()
-        if stamp is not None:
+        # publish only when the file is unchanged across the read —
+        # a racing rewrite must never pin its predecessor's DirMeta
+        if stamp is not None and dbmod.file_stamp(db_path) == stamp:
             self.cache.put_meta(source_path, stamp, meta)
         return meta
 
@@ -385,8 +420,10 @@ class GUFIIndex:
         """Cache-first DirMeta read with the query engine's lenient
         semantics: ``None`` for a missing or unreadable database
         instead of an exception (a denied-by-absence answer). The
-        stamp is taken *before* the read, so a write racing the read
-        conservatively invalidates the entry."""
+        stamp is taken before the read and re-checked after it: an
+        entry is published only when the file provably did not change
+        across the read, so a write racing the read can never pin a
+        stale DirMeta."""
         db_path = self.db_path(source_path)
         meta = self.cache.get_meta(source_path, db_path)
         if meta is not None:
@@ -404,7 +441,8 @@ class GUFIIndex:
             return None
         finally:
             conn.close()
-        self.cache.put_meta(source_path, stamp, meta)
+        if dbmod.file_stamp(db_path) == stamp:
+            self.cache.put_meta(source_path, stamp, meta)
         return meta
 
     def invalidate_cache(self, source_path: str | None = None) -> None:

@@ -64,6 +64,7 @@ from .engine import (
     QueryPermissionError,
     QueryResult,
     QuerySpec,
+    ResultCache,
     ResultSink,
     spec_label,
 )
@@ -108,6 +109,7 @@ class GUFIQuery:
         users: dict[int, str] | None = None,
         groups: dict[int, str] | None = None,
         processes: int = 1,
+        result_cache: ResultCache | None = None,
     ) -> None:
         self.engine = QueryEngine(
             index,
@@ -117,6 +119,7 @@ class GUFIQuery:
             users=users,
             groups=groups,
             processes=processes,
+            result_cache=result_cache,
         )
         # Alias the engine's objects (not copies): callers mutate
         # q.users in place and expect live sessions to see it.

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from repro import obs
 from repro.fs.permissions import Credentials
 
-from .engine import PaginatedSink, ResultSink
+from .engine import PaginatedSink, ResultCache, ResultSink
 from .index import GUFIIndex
 from .query import QueryResult, QuerySpec
 from .tools import FindFilters, GUFITools
@@ -200,12 +200,25 @@ class GUFIServer:
         audit_cap: int | None = None,
         max_rows: int | None = None,
         processes: int = 1,
+        result_cache_mb: float | None = None,
     ) -> None:
         self.index = index
         self.identity = identity
         self.nthreads = nthreads
         #: worker processes per query session (scatter-gather when > 1)
         self.processes = max(1, int(processes))
+        #: one materialized-result cache shared by every warm session.
+        #: Entries are keyed by resolved credentials (the same key as
+        #: the session LRU), so tenants can never see each other's
+        #: rows; the per-scope budget (a quarter of the total) keeps
+        #: one tenant's hot queries from evicting everyone else's.
+        self.result_cache: ResultCache | None = None
+        if result_cache_mb is not None and result_cache_mb > 0:
+            total = int(result_cache_mb * 1024 * 1024)
+            self.result_cache = ResultCache(
+                max_bytes=total,
+                max_scope_bytes=max(1, total // 4),
+            )
         if max_rows is None:
             max_rows = self.DEFAULT_MAX_ROWS
         #: effective response row cap (None when disabled)
@@ -237,6 +250,7 @@ class GUFIServer:
             tools = GUFITools(
                 self.index, creds=creds, nthreads=self.nthreads,
                 users=self.identity.uid_map(), processes=self.processes,
+                result_cache=self.result_cache,
             )
             self._sessions[key] = tools
             while len(self._sessions) > self.SESSION_CACHE_SIZE:

@@ -68,6 +68,7 @@ class _ThreadState:
         "t_time",
         "s_time",
         "e_time",
+        "touched",
         "_init_sql",
     )
 
@@ -89,6 +90,9 @@ class _ThreadState:
         self.t_time = 0.0
         self.s_time = 0.0
         self.e_time = 0.0
+        # source paths this thread's walk touched, collected only when
+        # the engine needs a result-cache validity token
+        self.touched: list[str] = []
         self._init_sql: str | None = None
 
     # ------------------------------------------------------------------
@@ -99,6 +103,7 @@ class _ThreadState:
         self.visited = self.denied = self.opened = self.errored = 0
         self.pruned = self.elided = 0
         self.t_time = self.s_time = self.e_time = 0.0
+        self.touched = []
         # A previous run that died mid-directory (or mid-merge) may
         # have left a database attached; a stale attach would shadow
         # this run's.

@@ -87,10 +87,12 @@ class GUFITools:
         users: dict[int, str] | None = None,
         groups: dict[int, str] | None = None,
         processes: int = 1,
+        result_cache=None,
     ) -> None:
         self.engine = QueryEngine(
             index, creds=creds, nthreads=nthreads, tracer=tracer,
             users=users, groups=groups, processes=processes,
+            result_cache=result_cache,
         )
         # Historical attribute name; same object (the engine speaks
         # the full GUFIQuery surface plus sinks).

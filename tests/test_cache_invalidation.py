@@ -13,6 +13,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.core import db as dbmod
 from repro.core.build import BuildOptions, dir2index
 from repro.core.changefeed import changefeed2index
 from repro.core.index import DirMetaCache, GUFIIndex
@@ -402,3 +403,130 @@ class TestChangefeedInvalidation:
         assert "/home/bob/vault/s.key" in got
         assert not any(p.startswith("/home/bob/secret") for p in got)
         q.close()
+
+
+# ----------------------------------------------------------------------
+# Invalidation listeners + read-stability (ISSUE 8 satellites)
+# ----------------------------------------------------------------------
+
+
+class TestInvalidationListeners:
+    """The ``DirMetaCache.add_listener`` hook is the push channel the
+    materialized result cache hangs off — every explicit invalidation
+    must announce itself exactly once, after the drop."""
+
+    def test_invalidate_notifies_path(self, demo_index):
+        seen = []
+        demo_index.cache.add_listener(lambda p, s: seen.append((p, s)))
+        demo_index.invalidate_cache("/home/bob")
+        assert ("/home/bob", False) in seen
+
+    def test_subtree_and_clear_notify(self, demo_index):
+        seen = []
+        demo_index.cache.add_listener(lambda p, s: seen.append((p, s)))
+        demo_index.cache.invalidate_subtree("/proj")
+        assert ("/proj", True) in seen
+        demo_index.cache.clear()
+        assert (None, True) in seen
+
+    def test_result_cache_rides_the_hooks(self, demo_index):
+        from repro.core.engine import QueryEngine, QuerySpec, ResultCache
+
+        cache = ResultCache()
+        spec = QuerySpec(E="SELECT name FROM pentries")
+        with QueryEngine(
+            demo_index, nthreads=NTHREADS, result_cache=cache
+        ) as eng:
+            eng.run(spec, "/public")
+            assert len(cache) == 1
+            demo_index.invalidate_cache("/public")
+            assert len(cache) == 0
+            assert cache.invalidations >= 1
+
+
+class TestReadStablePublish:
+    """``dir_meta``/``cached_dir_meta`` take the stamp *before* the
+    read and re-check it after: a write racing the read must never pin
+    its predecessor's DirMeta (the stamp-before-read race fix)."""
+
+    def _flipping_stamp(self, real, db_path):
+        """A file_stamp that reports a different post-read stamp for
+        ``db_path`` — exactly what a racing writer produces."""
+        calls = {"n": 0}
+
+        def fake(path):
+            stamp = real(path)
+            if str(path) == str(db_path):
+                calls["n"] += 1
+                if calls["n"] >= 2 and stamp is not None:
+                    return (stamp[0], stamp[1] + 1, stamp[2])
+            return stamp
+
+        return fake
+
+    def test_cached_dir_meta_discards_on_mismatch(
+        self, demo_index, monkeypatch
+    ):
+        import repro.core.index as indexmod
+
+        db_path = demo_index.db_path("/home/bob")
+        monkeypatch.setattr(
+            indexmod.dbmod,
+            "file_stamp",
+            self._flipping_stamp(dbmod.file_stamp, db_path),
+        )
+        meta = demo_index.cached_dir_meta("/home/bob")
+        assert meta is not None  # the read itself still answers
+        # ...but nothing was published: the cache must not hold it
+        assert demo_index.cache.peek_stamp("/home/bob") is None
+
+    def test_dir_meta_discards_on_mismatch(self, demo_index, monkeypatch):
+        import repro.core.index as indexmod
+
+        db_path = demo_index.db_path("/public")
+        monkeypatch.setattr(
+            indexmod.dbmod,
+            "file_stamp",
+            self._flipping_stamp(dbmod.file_stamp, db_path),
+        )
+        assert demo_index.dir_meta("/public") is not None
+        assert demo_index.cache.peek_stamp("/public") is None
+
+    def test_stable_read_still_publishes(self, demo_index):
+        assert demo_index.cached_dir_meta("/home/bob") is not None
+        assert demo_index.cache.peek_stamp("/home/bob") is not None
+
+
+@pytest.mark.skipif(
+    __import__("multiprocessing").get_start_method() != "fork",
+    reason="fork inheritance under test",
+)
+class TestForkStalenessAfterRefresh:
+    """A ``processes>1`` run forks workers that inherit the parent's
+    warm index; after an incremental refresh they must answer from the
+    rebuilt databases, never the inherited pre-refresh cache."""
+
+    def test_multiprocess_query_after_incremental_refresh(self, tmp_path):
+        from repro.core.engine import QueryEngine
+
+        tree = build_demo_tree()
+        index = dir2index(
+            tree, tmp_path / "idx", opts=BuildOptions(nthreads=NTHREADS)
+        ).index
+        journal = ChangeJournal()
+        tree.set_changelog(journal)
+        # warm the parent cache the way a long-lived session would
+        with GUFIQuery(index, nthreads=NTHREADS) as warm:
+            warm.run(Q1_LIST_PATHS)
+        tree.create_file("/public/post.txt", size=3, uid=0, gid=0)
+        tree.unlink("/public/readme")
+        changefeed2index(
+            index, tree, journal, opts=BuildOptions(nthreads=NTHREADS)
+        )
+        with QueryEngine(index, nthreads=NTHREADS, processes=2) as multi, \
+                QueryEngine(index, nthreads=NTHREADS) as single:
+            got = sorted(multi.run(Q1_LIST_PATHS).rows)
+            assert got == sorted(single.run(Q1_LIST_PATHS).rows)
+        flat = [str(r[0]) for r in got]
+        assert any(p.endswith("/post.txt") for p in flat)
+        assert not any(p.endswith("/readme") for p in flat)

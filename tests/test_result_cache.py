@@ -1,0 +1,631 @@
+"""Materialized query-result cache (ISSUE 8 tentpole).
+
+The contract under test: a :class:`~repro.core.engine.ResultCache`
+replay must be **observably identical** to a cold traversal, at every
+point of an arbitrary interleaving of namespace mutations, changefeed
+applies, and queries — no stale reads, no permission leakage across
+credential keys — while actually being a cache (second run of a hot
+query replays instead of walking).
+
+Layout:
+
+* ``TestCacheBasics`` — hit/miss/replay mechanics, counters, spec
+  normalization, sink variants.
+* ``TestInvalidation`` — push invalidation precision, stamp-pass
+  validation, changefeed semantics (unapplied events must *not*
+  invalidate: the index is unchanged).
+* ``TestCredentialScoping`` — no replay across principals, per-scope
+  budgets.
+* ``TestBounds`` — LRU byte/entry budgets, oversized-entry refusal.
+* ``TestScatterGather`` — the ``processes>1`` parent caches the
+  gathered result; workers bypass.
+* ``TestNoStaleReadsProperty`` — the acceptance property, PR 7 style:
+  hypothesis-driven mutate/apply/query interleavings under root and
+  unprivileged creds, with and without rollups and ``processes>1``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.build import BuildOptions, dir2index
+from repro.core.changefeed import changefeed2index
+from repro.core.engine import (
+    BoundedSink,
+    PaginatedSink,
+    QueryEngine,
+    QuerySpec,
+    ResultCache,
+    ThreadFileSink,
+)
+from repro.core.query import (
+    Q1_LIST_PATHS,
+    Q2_DIR_SIZES,
+    Q3_DU_SUMMARIES,
+    GUFIQuery,
+)
+from repro.core.rollup import rollup
+from repro.core.session import QuerySession
+from repro.fs.changelog import ChangeJournal
+from repro.fs.permissions import ROOT
+from repro.gen.datasets import dataset2
+from repro.gen.namespace import NamespaceMutator
+from tests.conftest import ALICE, BOB, NTHREADS, build_demo_tree
+
+OPTS = BuildOptions(nthreads=NTHREADS)
+FORK = mp.get_context().get_start_method() == "fork"
+
+E_ALL = QuerySpec(E="SELECT path() || '/' || name, size FROM pentries")
+
+
+def cold_rows(index, spec, creds=ROOT, plan=None):
+    """Oracle: a fresh, cache-less engine's sorted rows."""
+    eng = QueryEngine(index, creds=creds, nthreads=NTHREADS)
+    try:
+        return sorted(eng.run(spec, plan=plan).rows)
+    finally:
+        eng.close()
+
+
+@pytest.fixture
+def cached_engine(demo_index):
+    cache = ResultCache()
+    eng = QueryEngine(demo_index, nthreads=NTHREADS, result_cache=cache)
+    yield eng, cache
+    eng.close()
+
+
+class TestCacheBasics:
+    def test_second_run_is_a_hit_with_identical_rows(self, cached_engine):
+        eng, cache = cached_engine
+        r1 = eng.run(E_ALL)
+        r2 = eng.run(E_ALL)
+        assert not r1.cached and r2.cached
+        assert sorted(r1.rows) == sorted(r2.rows)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_replay_preserves_counters(self, cached_engine):
+        eng, _ = cached_engine
+        r1 = eng.run(E_ALL)
+        r2 = eng.run(E_ALL)
+        for f in ("dirs_visited", "dirs_denied", "dbs_opened",
+                  "dirs_errored", "dirs_pruned_by_plan", "attaches_elided"):
+            assert getattr(r2, f) == getattr(r1, f), f
+
+    def test_aggregate_spec_replays_g_rows(self, cached_engine):
+        eng, _ = cached_engine
+        r1 = eng.run(Q3_DU_SUMMARIES)
+        r2 = eng.run(Q3_DU_SUMMARIES)
+        assert r2.cached
+        assert r1.rows == r2.rows
+        assert r1.rows  # the G reduction produced something
+
+    def test_spec_whitespace_normalization_shares_entry(self, cached_engine):
+        eng, cache = cached_engine
+        eng.run(QuerySpec(E="SELECT name FROM pentries"))
+        r = eng.run(QuerySpec(E="SELECT   name\n  FROM  pentries"))
+        assert r.cached
+        assert len(cache) == 1
+
+    def test_different_start_paths_are_distinct_entries(self, cached_engine):
+        eng, cache = cached_engine
+        r_home = eng.run(E_ALL, "/home")
+        r_proj = eng.run(E_ALL, "/proj")
+        assert not r_proj.cached
+        assert sorted(r_home.rows) != sorted(r_proj.rows)
+        assert len(cache) == 2
+        assert eng.run(E_ALL, "/home").cached
+        assert eng.run(E_ALL, "/proj").cached
+
+    def test_plan_window_is_part_of_the_key(self, demo_index):
+        from repro.core.plan import QueryPlan
+
+        cache = ResultCache()
+        eng = QueryEngine(demo_index, nthreads=NTHREADS, result_cache=cache)
+        try:
+            shallow = QueryPlan(max_level=1, entries_shaped=False)
+            r1 = eng.run(E_ALL, plan=shallow)
+            r2 = eng.run(E_ALL)  # unplanned: different key, full tree
+            assert not r2.cached
+            assert len(r2.rows) > len(r1.rows)
+            assert eng.run(E_ALL, plan=shallow).cached
+            assert sorted(eng.run(E_ALL, plan=shallow).rows) == sorted(
+                cold_rows(demo_index, E_ALL, plan=shallow)
+            )
+        finally:
+            eng.close()
+
+    def test_run_single_bypasses_the_cache(self, cached_engine):
+        eng, cache = cached_engine
+        eng.run_single(QuerySpec(E="SELECT name FROM pentries"), "/public")
+        assert len(cache) == 0
+
+    def test_shared_cache_across_engines(self, demo_index):
+        cache = ResultCache()
+        e1 = QueryEngine(demo_index, nthreads=NTHREADS, result_cache=cache)
+        e2 = QueryEngine(demo_index, nthreads=NTHREADS, result_cache=cache)
+        try:
+            r1 = e1.run(E_ALL)
+            r2 = e2.run(E_ALL)
+            assert r2.cached
+            assert sorted(r1.rows) == sorted(r2.rows)
+        finally:
+            e1.close()
+            e2.close()
+
+    def test_server_shared_cache_scoped_per_principal(self, demo_index):
+        from repro.core.server import GUFIServer, IdentityProvider
+
+        idp = IdentityProvider()
+        idp.add_user("alice", uid=1001, gid=1001)
+        idp.add_user("bob", uid=1002, gid=1002)
+        with GUFIServer(
+            demo_index, idp, nthreads=NTHREADS, result_cache_mb=8
+        ) as server:
+            cache = server.result_cache
+            assert cache is not None and cache.max_scope_bytes is not None
+            server.invoke("alice", "du", "/")
+            server.invoke("alice", "du", "/")
+            assert cache.hits == 1  # warm session replayed
+            server.invoke("bob", "du", "/")  # own scope: a miss
+            assert cache.hits == 1 and len(cache) == 2
+
+    def test_session_and_facade_pass_through(self, demo_index):
+        cache = ResultCache()
+        with QuerySession(
+            demo_index, nthreads=NTHREADS, result_cache=cache
+        ) as q:
+            q.run(E_ALL)
+            assert q.run(E_ALL).cached
+        with GUFIQuery(
+            demo_index, nthreads=NTHREADS, result_cache=cache
+        ) as q2:
+            assert q2.run(E_ALL).cached
+
+
+class TestSinkReplay:
+    """Replay goes through the caller's sink, so every sink shape
+    behaves exactly as it would on a real run."""
+
+    def test_bounded_sink_cap_applies_on_replay(self, cached_engine):
+        eng, _ = cached_engine
+        full = eng.run(E_ALL)
+        capped = eng.run(E_ALL, sink=BoundedSink(3))
+        assert capped.cached and capped.truncated
+        assert len(capped.rows) == 3
+        assert set(capped.rows) <= set(full.rows)
+
+    def test_paginated_sink_on_replay(self, cached_engine):
+        eng, _ = cached_engine
+        full = eng.run(E_ALL)
+        sink = PaginatedSink(page_size=2)
+        res = eng.run(E_ALL, sink=sink)
+        assert res.cached
+        paged = [r for n in range(sink.num_pages) for r in sink.page(n)]
+        assert sorted(paged) == sorted(full.rows)
+
+    def test_thread_file_sink_written_on_replay(self, cached_engine, tmp_path):
+        eng, _ = cached_engine
+        full = eng.run(E_ALL)
+        res = eng.run(E_ALL, sink=ThreadFileSink(str(tmp_path / "out")))
+        assert res.cached and res.output_files
+        lines = []
+        for path in res.output_files:
+            with open(path) as fh:
+                lines += [ln.rstrip("\n") for ln in fh]
+        want = sorted(
+            "\t".join("" if v is None else str(v) for v in row)
+            for row in full.rows
+        )
+        assert sorted(lines) == want
+
+    def test_capture_does_not_inherit_callers_row_cap(self, cached_engine):
+        """A bounded first caller must not poison the entry: the tee
+        records the pre-cap stream, so a later unbounded caller gets
+        the full rows."""
+        eng, _ = cached_engine
+        capped = eng.run(E_ALL, sink=BoundedSink(2))
+        assert capped.truncated and not capped.cached
+        full = eng.run(E_ALL)
+        assert full.cached and not full.truncated
+        assert sorted(full.rows) == cold_rows(eng.index, E_ALL)
+
+
+class TestInvalidation:
+    def test_explicit_invalidate_drops_only_touched_entries(
+        self, cached_engine
+    ):
+        eng, cache = cached_engine
+        eng.run(E_ALL, "/home/bob")
+        eng.run(E_ALL, "/proj")
+        assert len(cache) == 2
+        eng.index.invalidate_cache("/home/bob")
+        assert len(cache) == 1
+        assert not eng.run(E_ALL, "/home/bob").cached
+        assert eng.run(E_ALL, "/proj").cached
+
+    def test_subtree_invalidation_matches_descendants(self, cached_engine):
+        eng, cache = cached_engine
+        eng.run(E_ALL, "/proj")  # visits /proj/shared/data
+        eng.run(E_ALL, "/public")
+        eng.index.cache.invalidate_subtree("/proj/shared")
+        assert not eng.run(E_ALL, "/proj").cached
+        assert eng.run(E_ALL, "/public").cached
+
+    def test_ancestor_entry_invalidated_by_child_write(self, cached_engine):
+        """An entry whose walk visited /home must die when /home/alice
+        (a visited dir) — or even a *parent* of a visited dir — is
+        invalidated."""
+        eng, _ = cached_engine
+        eng.run(E_ALL, "/home")
+        eng.index.invalidate_cache("/home/alice")
+        assert not eng.run(E_ALL, "/home").cached
+
+    def test_stamp_pass_catches_out_of_band_write(
+        self, demo_tree, tmp_path
+    ):
+        """No journal, no hooks: a foreign process writes a directory
+        database behind the cache's back; the per-directory stamp
+        validation must refuse the entry."""
+        import sqlite3
+
+        index = dir2index(demo_tree, tmp_path / "idx", opts=OPTS).index
+        cache = ResultCache()
+        eng = QueryEngine(index, nthreads=NTHREADS, result_cache=cache)
+        try:
+            eng.run(E_ALL)
+            assert eng.run(E_ALL).cached
+            con = sqlite3.connect(index.db_path("/public"))
+            con.execute(
+                "INSERT INTO entries (name, type, mode, uid, gid, size) "
+                "VALUES ('oob.txt', 'f', 420, 0, 0, 11)"
+            )
+            con.commit()
+            con.close()
+            hits_before = cache.hits
+            r = eng.run(E_ALL)
+            assert not r.cached and cache.hits == hits_before
+            assert any("oob.txt" in str(row[0]) for row in r.rows)
+            assert sorted(r.rows) == cold_rows(index, E_ALL)
+        finally:
+            eng.close()
+
+    def test_permission_change_on_ancestor_invalidates(self, demo_tree,
+                                                       tmp_path):
+        """chmod on an *ancestor* of the query start changes
+        reachability; the ancestor stamps in the validity token must
+        catch it even though the walk never processed that dir."""
+        index = dir2index(demo_tree, tmp_path / "idx", opts=OPTS).index
+        journal = ChangeJournal()
+        demo_tree.set_changelog(journal)
+        cache = ResultCache(journal=journal)
+        eng = QueryEngine(
+            index, creds=ALICE, nthreads=NTHREADS, result_cache=cache
+        )
+        try:
+            eng.run(E_ALL, "/home/alice/sub")
+            assert eng.run(E_ALL, "/home/alice/sub").cached
+            demo_tree.chmod("/home/alice", 0o000, ALICE)
+            changefeed2index(index, demo_tree, journal, opts=OPTS)
+            from repro.core.engine import QueryPermissionError
+
+            with pytest.raises(QueryPermissionError):
+                eng.run(E_ALL, "/home/alice/sub")
+        finally:
+            eng.close()
+
+    def test_unapplied_tree_events_do_not_invalidate(self, demo_tree,
+                                                     tmp_path):
+        """Mutating the *tree* without applying to the *index* leaves
+        the index — and therefore the cached result — unchanged: the
+        entry must keep serving (and keep matching a cold run)."""
+        index = dir2index(demo_tree, tmp_path / "idx", opts=OPTS).index
+        journal = ChangeJournal()
+        demo_tree.set_changelog(journal)
+        cache = ResultCache(journal=journal)
+        eng = QueryEngine(index, nthreads=NTHREADS, result_cache=cache)
+        try:
+            eng.run(E_ALL)
+            demo_tree.create_file("/public/pending.txt", size=1,
+                                  uid=0, gid=0)
+            r = eng.run(E_ALL)
+            assert r.cached
+            assert sorted(r.rows) == cold_rows(index, E_ALL)
+        finally:
+            eng.close()
+
+    def test_changefeed_apply_invalidates_then_recaches(self, demo_tree,
+                                                        tmp_path):
+        index = dir2index(demo_tree, tmp_path / "idx", opts=OPTS).index
+        journal = ChangeJournal()
+        demo_tree.set_changelog(journal)
+        cache = ResultCache(journal=journal)
+        eng = QueryEngine(index, nthreads=NTHREADS, result_cache=cache)
+        try:
+            eng.run(E_ALL)
+            demo_tree.create_file("/public/applied.txt", size=77,
+                                  uid=0, gid=0)
+            changefeed2index(index, demo_tree, journal, opts=OPTS)
+            r = eng.run(E_ALL)
+            assert not r.cached
+            assert sorted(r.rows) == cold_rows(index, E_ALL)
+            assert any("applied.txt" in str(row[0]) for row in r.rows)
+            assert eng.run(E_ALL).cached
+        finally:
+            eng.close()
+
+    def test_mid_run_invalidation_aborts_the_store(self, cached_engine):
+        eng, cache = cached_engine
+        before = cache.capture_aborts
+        real_store = cache.store
+
+        def racing_store(key, capture, result, index, inv_seq):
+            # a writer lands between run start and store
+            eng.index.invalidate_cache("/public")
+            return real_store(key, capture, result, index, inv_seq)
+
+        cache.store = racing_store
+        try:
+            r = eng.run(E_ALL)
+        finally:
+            cache.store = real_store
+        assert not r.cached
+        assert len(cache) == 0
+        assert cache.capture_aborts == before + 1
+
+
+class TestCredentialScoping:
+    def test_no_replay_across_principals(self, cached_engine):
+        eng, cache = cached_engine
+        index = eng.index
+        root_rows = sorted(eng.run(E_ALL).rows)
+        alice = QueryEngine(
+            index, creds=ALICE, nthreads=NTHREADS,
+            result_cache=cache,
+        )
+        bob = QueryEngine(
+            index, creds=BOB, nthreads=NTHREADS, result_cache=cache
+        )
+        try:
+            ra = alice.run(E_ALL)
+            assert not ra.cached  # root's entry must not serve alice
+            assert sorted(ra.rows) == cold_rows(index, E_ALL, ALICE)
+            rb = bob.run(E_ALL)
+            assert not rb.cached
+            assert sorted(rb.rows) == cold_rows(index, E_ALL, BOB)
+            # alice's private rows never reachable through bob's key
+            assert not any("/home/alice/" in str(r[0]) for r in rb.rows)
+            assert sorted(ra.rows) != sorted(rb.rows) != root_rows
+            # every principal hits its own entry on re-run
+            assert alice.run(E_ALL).cached
+            assert bob.run(E_ALL).cached
+        finally:
+            alice.close()
+            bob.close()
+
+    def test_scope_budget_confines_one_tenants_evictions(self, demo_index):
+        cache = ResultCache()
+        alice = QueryEngine(
+            demo_index, creds=ALICE, nthreads=NTHREADS, result_cache=cache
+        )
+        root = QueryEngine(
+            demo_index, nthreads=NTHREADS, result_cache=cache
+        )
+        try:
+            root.run(E_ALL, "/home")  # measure one entry
+            per_entry = cache.total_bytes
+            cache.clear()
+            # one /home-sized entry fits per scope; a second does not
+            cache.max_scope_bytes = per_entry
+            root.run(E_ALL, "/home")
+            alice.run(E_ALL, "/home")  # separate scope, separate budget
+            root.run(E_ALL, "/proj")  # busts *root's* budget only
+            assert cache.evictions >= 1
+            assert alice.run(E_ALL, "/home").cached  # alice untouched
+            assert not root.run(E_ALL, "/home").cached  # root's LRU gone
+        finally:
+            alice.close()
+            root.close()
+
+
+class TestBounds:
+    def test_lru_eviction_by_entry_count(self, cached_engine):
+        eng, cache = cached_engine
+        cache.max_entries = 2
+        eng.run(E_ALL, "/home")
+        eng.run(E_ALL, "/proj")
+        eng.run(E_ALL, "/public")  # evicts /home (LRU)
+        assert len(cache) == 2
+        assert not eng.run(E_ALL, "/home").cached
+        assert cache.evictions >= 1
+
+    def test_oversized_entry_is_not_stored(self, demo_index):
+        cache = ResultCache(max_entry_bytes=64)
+        eng = QueryEngine(demo_index, nthreads=NTHREADS, result_cache=cache)
+        try:
+            r1 = eng.run(E_ALL)
+            r2 = eng.run(E_ALL)
+            assert not r2.cached  # overflowed the tee, nothing stored
+            assert len(cache) == 0
+            assert sorted(r1.rows) == sorted(r2.rows)
+        finally:
+            eng.close()
+
+    def test_byte_budget_evicts_lru_first(self, cached_engine):
+        eng, cache = cached_engine
+        eng.run(E_ALL, "/home")
+        eng.run(E_ALL, "/proj")
+        entry_bytes = cache.total_bytes
+        cache.max_bytes = max(1, entry_bytes - 1)  # force one eviction
+        eng.run(E_ALL, "/public")
+        assert cache.total_bytes <= cache.max_bytes
+        assert cache.evictions >= 1
+
+
+@pytest.mark.skipif(not FORK, reason="scatter cache tests rely on fork")
+class TestScatterGather:
+    def test_parent_caches_the_gathered_result(self, dataset2_index):
+        index = dataset2_index.index
+        cache = ResultCache()
+        eng = QueryEngine(
+            index, nthreads=NTHREADS, processes=2, result_cache=cache
+        )
+        try:
+            r1 = eng.run(E_ALL)
+            r2 = eng.run(E_ALL)
+            assert not r1.cached and r2.cached
+            assert sorted(r1.rows) == sorted(r2.rows)
+            assert sorted(r2.rows) == cold_rows(index, E_ALL)
+        finally:
+            eng.close()
+
+    def test_worker_crash_withholds_the_store(self, dataset2_index):
+        from repro.core.engine.scatter import ScatterGatherEngine
+        from tests.test_scatter_gather import _kill_worker_zero
+
+        index = dataset2_index.index
+        cache = ResultCache()
+        eng = QueryEngine(
+            index, nthreads=NTHREADS, processes=2, result_cache=cache
+        )
+        try:
+            scatter = eng._scatter()
+            assert isinstance(scatter, ScatterGatherEngine)
+            scatter.worker_init = _kill_worker_zero
+            r = eng.run(E_ALL)
+            assert r.dirs_errored > 0  # the crashed shard
+            # an incomplete result must never be materialized
+            assert len(cache) == 0
+            scatter.worker_init = None
+            assert not eng.run(E_ALL).cached
+        finally:
+            eng.close()
+
+
+class TestNoStaleReadsProperty:
+    """The acceptance property (ISSUE 8): arbitrary interleavings of
+    mutations, changefeed applies, and cached queries — the cached
+    engine answers every query identically to a cold engine, for root
+    and unprivileged creds."""
+
+    SPECS = (E_ALL, Q1_LIST_PATHS, Q2_DIR_SIZES)
+
+    def _check_round(self, engines, index):
+        for creds, eng in engines:
+            for spec in self.SPECS:
+                got = sorted(eng.run(spec).rows)
+                assert got == cold_rows(index, spec, creds), (
+                    f"stale read under {creds} for {spec}"
+                )
+
+    @settings(
+        max_examples=5,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        steps=st.lists(
+            st.sampled_from(["mutate", "apply", "query"]),
+            min_size=3,
+            max_size=8,
+        ),
+    )
+    def test_interleaved_mutate_apply_query(
+        self, tmp_path_factory, seed, steps
+    ):
+        ns = dataset2(scale=0.00005, seed=seed)
+        root = tmp_path_factory.mktemp("rcprop")
+        index = dir2index(ns.tree, root / "idx", opts=OPTS).index
+        journal = ChangeJournal()
+        ns.tree.set_changelog(journal)
+        cache = ResultCache(journal=journal)
+        engines = [
+            (ROOT, QueryEngine(index, nthreads=NTHREADS,
+                               result_cache=cache)),
+            (ALICE, QueryEngine(index, creds=ALICE, nthreads=NTHREADS,
+                                result_cache=cache)),
+        ]
+        mut = NamespaceMutator(ns, seed=seed ^ 0xBEEF)
+        try:
+            self._check_round(engines, index)  # populate
+            for step in steps:
+                if step == "mutate":
+                    mut.mutate(4)
+                elif step == "apply":
+                    changefeed2index(index, ns.tree, journal, opts=OPTS)
+                else:
+                    self._check_round(engines, index)
+            changefeed2index(index, ns.tree, journal, opts=OPTS)
+            self._check_round(engines, index)
+            self._check_round(engines, index)  # hit path, post-converge
+        finally:
+            for _, eng in engines:
+                eng.close()
+
+    @settings(
+        max_examples=3,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    def test_rolled_namespace_property(self, tmp_path_factory, seed):
+        ns = dataset2(scale=0.00005, seed=seed)
+        root = tmp_path_factory.mktemp("rcroll")
+        index = dir2index(ns.tree, root / "idx", opts=OPTS).index
+        rollup(index, nthreads=NTHREADS)
+        journal = ChangeJournal()
+        ns.tree.set_changelog(journal)
+        cache = ResultCache(journal=journal)
+        engines = [
+            (ROOT, QueryEngine(index, nthreads=NTHREADS,
+                               result_cache=cache)),
+            (ALICE, QueryEngine(index, creds=ALICE, nthreads=NTHREADS,
+                                result_cache=cache)),
+        ]
+        mut = NamespaceMutator(ns, seed=seed)
+        try:
+            self._check_round(engines, index)
+            mut.mutate(10)
+            self._check_round(engines, index)  # unapplied: still equal
+            changefeed2index(index, ns.tree, journal, opts=OPTS)
+            self._check_round(engines, index)
+            self._check_round(engines, index)
+        finally:
+            for _, eng in engines:
+                eng.close()
+
+    @pytest.mark.skipif(not FORK, reason="needs fork for cheap workers")
+    @settings(
+        max_examples=2,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    def test_multiprocess_property(self, tmp_path_factory, seed):
+        ns = dataset2(scale=0.00005, seed=seed)
+        root = tmp_path_factory.mktemp("rcmp")
+        index = dir2index(ns.tree, root / "idx", opts=OPTS).index
+        journal = ChangeJournal()
+        ns.tree.set_changelog(journal)
+        cache = ResultCache(journal=journal)
+        engines = [
+            (ROOT, QueryEngine(index, nthreads=NTHREADS, processes=2,
+                               result_cache=cache)),
+            (ALICE, QueryEngine(index, creds=ALICE, nthreads=NTHREADS,
+                                processes=2, result_cache=cache)),
+        ]
+        mut = NamespaceMutator(ns, seed=seed ^ 0xF00D)
+        try:
+            self._check_round(engines, index)
+            mut.mutate(8)
+            changefeed2index(index, ns.tree, journal, opts=OPTS)
+            self._check_round(engines, index)
+            self._check_round(engines, index)
+        finally:
+            for _, eng in engines:
+                eng.close()

@@ -386,3 +386,118 @@ def test_property_random_namespaces(tree, who):
             assert sorted(sp.rows) == sorted(mp_.rows)
             # no plan, no cache-dependence: all six counters must agree
             assert _counters(sp) == _counters(mp_)
+
+
+# ----------------------------------------------------------------------
+# Fork-inherited cache staleness (ISSUE 8 satellite)
+# ----------------------------------------------------------------------
+# Workers forked for a run inherit the parent engine's warm index —
+# DirMeta cache included — through ``_FORK_INDEX``. A run issued after
+# an incremental refresh must therefore never let a child serve the
+# parent's pre-refresh cache state: every inherited DirMeta is
+# re-validated against the rebuilt database's stamp.
+
+
+@pytest.mark.skipif(not FORK, reason="inheritance requires fork start")
+class TestForkInheritedStaleness:
+    def _fresh(self, tmp_path):
+        from repro.fs.changelog import ChangeJournal
+
+        tree = build_demo_tree()
+        index = dir2index(
+            tree, tmp_path / "idx", opts=BuildOptions(nthreads=NTHREADS)
+        ).index
+        journal = ChangeJournal()
+        tree.set_changelog(journal)
+        return tree, index, journal
+
+    def _cold_rows(self, index, creds=ROOT):
+        with QueryEngine(index, creds=creds, nthreads=NTHREADS) as eng:
+            return sorted(eng.run(Q1_LIST_PATHS).rows)
+
+    def test_workers_see_incremental_refresh(self, tmp_path):
+        from repro.core.changefeed import changefeed2index
+
+        tree, index, journal = self._fresh(tmp_path)
+        with QueryEngine(
+            index, nthreads=NTHREADS, processes=PROCESSES
+        ) as multi:
+            before = sorted(multi.run(Q1_LIST_PATHS).rows)
+            tree.create_file("/public/after-refresh.txt", size=9,
+                             uid=0, gid=0)
+            tree.unlink("/public/readme")
+            changefeed2index(index, tree, journal,
+                             opts=BuildOptions(nthreads=NTHREADS))
+            after = sorted(multi.run(Q1_LIST_PATHS).rows)
+            assert after != before
+            assert after == self._cold_rows(index)
+            flat = [str(r[0]) for r in after]
+            assert any("after-refresh.txt" in p for p in flat)
+            assert not any(p.endswith("/readme") for p in flat)
+
+    def test_warm_parent_cache_not_inherited_stale(self, tmp_path):
+        """Deliberately warm the parent's DirMeta cache single-process
+        first, then refresh, then fork: the children inherit the warm
+        (now stale) cache and must still answer post-refresh."""
+        from repro.core.changefeed import changefeed2index
+
+        tree, index, journal = self._fresh(tmp_path)
+        with QueryEngine(index, nthreads=NTHREADS) as warmer:
+            warmer.run(Q1_LIST_PATHS)  # fills index.cache
+        tree.create_file("/proj/shared/new.dat", size=1234,
+                         uid=1001, gid=100)
+        changefeed2index(index, tree, journal,
+                         opts=BuildOptions(nthreads=NTHREADS))
+        with QueryEngine(
+            index, nthreads=NTHREADS, processes=PROCESSES
+        ) as multi:
+            rows = sorted(multi.run(Q1_LIST_PATHS).rows)
+        assert rows == self._cold_rows(index)
+        assert any("new.dat" in str(r[0]) for r in rows)
+
+    def test_foreign_handle_apply_not_masked_by_inherited_cache(
+        self, tmp_path
+    ):
+        """The refresh lands through a *different* index handle, so no
+        invalidation hook reaches the querying engine; the inherited
+        DirMeta entries are stale and only stamp validation stands
+        between the workers and wrong answers."""
+        from repro.core.changefeed import changefeed2index
+        from repro.core.index import GUFIIndex
+
+        tree, index, journal = self._fresh(tmp_path)
+        with QueryEngine(
+            index, nthreads=NTHREADS, processes=PROCESSES
+        ) as multi:
+            multi.run(Q1_LIST_PATHS)  # warm parent + verify plumbing
+            tree.create_file("/home/bob/fresh.log", size=77,
+                             uid=1002, gid=1002)
+            other = GUFIIndex.open(index.root)
+            changefeed2index(other, tree, journal,
+                             opts=BuildOptions(nthreads=NTHREADS))
+            rows = sorted(multi.run(Q1_LIST_PATHS).rows)
+            assert any("fresh.log" in str(r[0]) for r in rows)
+            assert rows == self._cold_rows(index)
+
+    def test_result_cache_multiprocess_refresh(self, tmp_path):
+        """Tentpole x satellite: a cached multi-process engine must
+        re-gather (not replay) after an incremental refresh."""
+        from repro.core.changefeed import changefeed2index
+        from repro.core.engine import ResultCache
+
+        tree, index, journal = self._fresh(tmp_path)
+        cache = ResultCache(journal=journal)
+        with QueryEngine(
+            index, nthreads=NTHREADS, processes=PROCESSES,
+            result_cache=cache,
+        ) as multi:
+            multi.run(Q1_LIST_PATHS)
+            assert multi.run(Q1_LIST_PATHS).cached
+            tree.create_file("/public/cachebust.txt", size=5,
+                             uid=0, gid=0)
+            changefeed2index(index, tree, journal,
+                             opts=BuildOptions(nthreads=NTHREADS))
+            res = multi.run(Q1_LIST_PATHS)
+            assert not res.cached
+            assert any("cachebust.txt" in str(r[0]) for r in res.rows)
+            assert sorted(res.rows) == self._cold_rows(index)
