@@ -37,7 +37,13 @@ equal to what a cold run would return right now:
   the events in ``(entry cursor, applied cursor]`` are retained and
   touch none of the entry's visited directories, the entry is valid
   without a single stat. An evicted window (overflow) falls back to
-  the stamp pass — never to trust.
+  the stamp pass — never to trust. The journal only sees writers
+  that *announce* themselves (in-process hooks, changefeed applies),
+  so the stat-free path is bounded: unless the cache is constructed
+  with ``journal_exclusive=True`` (the changefeed is provably the
+  sole writer), every entry re-runs the stamp pass at least once per
+  ``stamp_ttl`` seconds, so an out-of-band rewrite from another
+  process is detected within the TTL instead of never.
 
 * **Capture races.** Rows are captured through a tee
   (:class:`CaptureSink`) while stamps are taken *after* the run; a
@@ -48,7 +54,11 @@ equal to what a cold run would return right now:
   DirMeta cache validated (a mismatch means an out-of-band rewrite
   landed mid-run — capture aborted); and the DirMeta cache itself
   only publishes entries whose stamp is unchanged across the read
-  (see :meth:`GUFIIndex.cached_dir_meta`).
+  (see :meth:`GUFIIndex.cached_dir_meta`). For scatter-gather runs
+  the walk's DirMeta entries live in the *worker* processes, so each
+  worker ships the per-path stamps its walk validated alongside its
+  visited set (``QueryResult.visited_stamps``) and the parent
+  cross-checks those — the guard holds across process boundaries.
 
 * **Credential scoping.** The key includes the resolved
   ``(uid, gid, groups)`` — the same key the server's warm-session
@@ -64,8 +74,10 @@ makes for ``gufi_query``-shaped specs.
 from __future__ import annotations
 
 import dataclasses
+import re
 import threading
 import time
+import weakref
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Any, Iterable
 
@@ -104,12 +116,36 @@ _COUNTER_FIELDS = (
 )
 
 
+#: quoted SQL regions — string literals and quoted identifiers —
+#: matched whole so their interior never takes part in whitespace
+#: collapsing (''/""/`` doubling stays inside its region)
+_QUOTED_RE = re.compile(
+    r"'(?:[^']|'')*'"
+    r'|"(?:[^"]|"")*"'
+    r"|`(?:[^`]|``)*`"
+    r"|\[[^\]]*\]"
+)
+_WS_RE = re.compile(r"\s+")
+
+
 def _norm_sql(sql: str | None) -> str | None:
     """Whitespace-collapsed SQL, so formatting differences share an
-    entry (the same normalization ``spec_label`` uses)."""
+    entry — collapsed only *outside* quoted regions. Whitespace inside
+    a string literal (or quoted identifier) is part of the query's
+    meaning: ``name = 'a  b'`` and ``name = 'a b'`` are different
+    queries and must never share a cache key. Unquoted runs collapse
+    to a single space, never to nothing — ``'a' 'b'`` (a literal with
+    an alias) must not become the escaped literal ``'a''b'``."""
     if not sql:
         return None
-    return " ".join(sql.split())
+    out: list[str] = []
+    pos = 0
+    for m in _QUOTED_RE.finditer(sql):
+        out.append(_WS_RE.sub(" ", sql[pos : m.start()]))
+        out.append(m.group(0))
+        pos = m.end()
+    out.append(_WS_RE.sub(" ", sql[pos:]))
+    return "".join(out).strip()
 
 
 def spec_key(spec: QuerySpec) -> tuple:
@@ -250,6 +286,10 @@ class CacheEntry:
     #: the cache's invalidation sequence at capture/last validation
     inv_seq: int
     nbytes: int
+    #: ``time.monotonic()`` of the last stamp pass (store counts as
+    #: one) — bounds how long the stat-free changefeed fast path may
+    #: serve this entry without re-statting (see ``stamp_ttl``)
+    stamped_at: float = 0.0
     hits: int = 0
 
 
@@ -269,6 +309,8 @@ class ResultCache:
         max_entry_bytes: int | None = None,
         max_scope_bytes: int | None = None,
         journal: "ChangeJournal | None" = None,
+        journal_exclusive: bool = False,
+        stamp_ttl: float = 2.0,
     ) -> None:
         if max_bytes <= 0:
             raise ValueError("max_bytes must be > 0")
@@ -279,6 +321,16 @@ class ResultCache:
         )
         self.max_scope_bytes = max_scope_bytes
         self.journal = journal
+        #: the changefeed is provably the only writer of this index —
+        #: only then may the stat-free fast path serve an entry
+        #: indefinitely. Writers in *other processes* never fire this
+        #: cache's hooks nor journal their writes, so the default is
+        #: False and the fast path is bounded by ``stamp_ttl``.
+        self.journal_exclusive = journal_exclusive
+        #: max seconds the fast path may skip the stamp pass when the
+        #: journal is not exclusive (out-of-band writes are detected
+        #: within this bound instead of never)
+        self.stamp_ttl = stamp_ttl
         self._entries: OrderedDict[CacheKey, CacheEntry] = OrderedDict()
         self._lock = threading.RLock()
         self.total_bytes = 0
@@ -286,7 +338,10 @@ class ResultCache:
         #: bumped by every DirMetaCache invalidation on a bound index;
         #: captures observe it to detect writes racing a run
         self.invalidation_seq = 0
-        self._bound: list[Any] = []
+        #: bound DirMeta caches as (weakref, listener) pairs — weak so
+        #: a long-lived shared cache never pins short-lived per-index
+        #: caches (or their listener cycles) in memory
+        self._bound: list[tuple[weakref.ref, Any]] = []
         # advisory counters (mirrored into obs metrics when enabled)
         self.hits = 0
         self.misses = 0
@@ -299,17 +354,56 @@ class ResultCache:
     # ------------------------------------------------------------------
     def bind_index(self, index: "GUFIIndex") -> None:
         """Subscribe to the index's DirMeta-cache invalidation hooks —
-        the push half of invalidation. Idempotent per index handle."""
-        cache = index.cache
-        if any(c is cache for c in self._bound):
-            return
-        cache.add_listener(self._on_invalidate)
-        self._bound.append(cache)
+        the push half of invalidation. Idempotent per index handle.
 
-    def attach_journal(self, journal: "ChangeJournal") -> None:
+        The subscription is weak on both sides: the listener holds no
+        strong reference to this cache, and ``_bound`` holds none to
+        the index's DirMeta cache — binding many short-lived indexes
+        to one long-lived shared cache leaks nothing."""
+        cache = index.cache
+        with self._lock:
+            live = [(ref, hook) for ref, hook in self._bound
+                    if ref() is not None]
+            if any(ref() is cache for ref, _ in live):
+                self._bound = live
+                return
+            self_ref = weakref.ref(self)
+            cache_ref = weakref.ref(cache)
+
+            def hook(path: str | None, subtree: bool) -> None:
+                rc = self_ref()
+                if rc is None:
+                    c = cache_ref()
+                    if c is not None:
+                        c.remove_listener(hook)
+                    return
+                rc._on_invalidate(path, subtree)
+
+            live.append((cache_ref, hook))
+            self._bound = live
+            cache.add_listener(hook)
+
+    def close(self) -> None:
+        """Detach from every bound index's invalidation hooks. Safe to
+        call repeatedly; the cache remains usable (lookups just lose
+        push invalidation until indexes are bound again)."""
+        with self._lock:
+            bound, self._bound = self._bound, []
+        for cache_ref, hook in bound:
+            cache = cache_ref()
+            if cache is not None:
+                cache.remove_listener(hook)
+
+    def attach_journal(
+        self, journal: "ChangeJournal", exclusive: bool = False
+    ) -> None:
         """Enable the changefeed fast path: lookups may validate from
-        the journal window instead of per-directory stats."""
+        the journal window instead of per-directory stats. Pass
+        ``exclusive=True`` only when the changefeed is the sole writer
+        of the index — it lifts the ``stamp_ttl`` bound on stat-free
+        validation."""
         self.journal = journal
+        self.journal_exclusive = exclusive
 
     # ------------------------------------------------------------------
     # Push invalidation (DirMetaCache listener)
@@ -374,13 +468,15 @@ class ResultCache:
         rec = obs.metrics()
         with self._lock:
             entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
         if entry is None:
-            self.misses += 1
             if rec.enabled:
                 rec.counter("gufi_result_cache_misses_total")
             return None
         t0 = time.perf_counter()
-        valid = self._validate(entry, index)
+        mono0 = time.monotonic()
+        valid, applied, stamped = self._validate(entry, index)
         if rec.enabled:
             rec.observe(
                 "gufi_result_cache_validate_seconds",
@@ -401,6 +497,17 @@ class ResultCache:
                 if rec.enabled:
                     rec.counter("gufi_result_cache_misses_total")
                 return None
+            # Entry mutations happen only here, under the lock and
+            # after the identity re-check, so concurrent validations
+            # of the same entry cannot race each other. ``inv_seq``
+            # may legitimately advance past the validated value: any
+            # invalidation that *touched* this entry dropped it (the
+            # identity check above fails), so a surviving entry was
+            # untouched by whatever bumped the sequence.
+            entry.cursor = max(entry.cursor, applied)
+            entry.inv_seq = self.invalidation_seq
+            if stamped:
+                entry.stamped_at = max(entry.stamped_at, mono0)
             self._entries.move_to_end(key)
             entry.hits += 1
             self.hits += 1
@@ -408,7 +515,12 @@ class ResultCache:
             rec.counter("gufi_result_cache_hits_total")
         return entry
 
-    def _validate(self, entry: CacheEntry, index: "GUFIIndex") -> bool:
+    def _validate(
+        self, entry: CacheEntry, index: "GUFIIndex"
+    ) -> tuple[bool, int, bool]:
+        """Revalidate one entry without mutating it (the caller folds
+        the outcome in under the lock). Returns ``(valid, applied
+        cursor, stamp pass ran)``."""
         applied = ChangefeedCheckpoint(index.root).load()
         journal = self.journal
         if journal is not None:
@@ -416,14 +528,19 @@ class ResultCache:
             # Requires that no invalidation reached this cache since
             # the entry was (re)validated — the push hooks are how
             # non-changefeed writers (rollup, update, refresh)
-            # announce themselves.
-            if entry.inv_seq == self.invalidation_seq:
+            # announce themselves. Writers in *other* processes
+            # announce nothing, so unless the journal is exclusive the
+            # stat-free answer is only trusted within ``stamp_ttl`` of
+            # the entry's last stamp pass.
+            fresh = self.journal_exclusive or (
+                time.monotonic() - entry.stamped_at < self.stamp_ttl
+            )
+            if fresh and entry.inv_seq == self.invalidation_seq:
                 events = journal.events_between(entry.cursor, applied)
                 if events is not None and not any(
                     self._event_touches(e, entry.stamps) for e in events
                 ):
-                    entry.cursor = applied
-                    return True
+                    return True, applied, False
             # Precise event-driven invalidation: a retained window
             # that touches a visited directory kills the entry without
             # the stamp pass; an evicted window (overflow) falls
@@ -433,17 +550,15 @@ class ResultCache:
                 if events is not None and any(
                     self._event_touches(e, entry.stamps) for e in events
                 ):
-                    return False
+                    return False, applied, False
         # Stamp pass: O(visited dirs) stats against the recorded token.
         for path, (db_stamp, dir_stamp) in entry.stamps.items():
             if dbmod.file_stamp(index.db_path(path)) != db_stamp:
-                return False
+                return False, applied, True
             if dir_stamp is not None:
                 if dbmod.dir_stamp(index.index_dir(path)) != dir_stamp:
-                    return False
-        entry.cursor = applied
-        entry.inv_seq = self.invalidation_seq
-        return True
+                    return False, applied, True
+        return True, applied, True
 
     @staticmethod
     def _event_touches(
@@ -484,26 +599,36 @@ class ResultCache:
         nothing) when the capture cannot be proven race-free or is
         over budget."""
         if capture.overflowed or result.visited_paths is None:
-            self.capture_aborts += 1
+            self._abort_capture()
             return False
         if self.invalidation_seq != inv_seq_at_start:
             # a writer invalidated something while the run was in
             # flight: the rows may predate the write its stamps
             # postdate — abort, the next run re-captures
-            self.capture_aborts += 1
+            self._abort_capture()
             return False
         cache = index.cache
+        # The stamps the walk actually validated its reads against.
+        # Single-process runs leave them in this engine's DirMeta
+        # cache; scatter-gather workers ship theirs back explicitly
+        # (the parent's cache never saw the reads, so peeking it alone
+        # would make this cross-check vacuous for every path).
+        shipped = result.visited_stamps or {}
+        stamped_at = time.monotonic()
         stamps: dict[str, tuple[DbStamp, DirStamp]] = {}
         for path in set(result.visited_paths):
+            walk_db, walk_dir = shipped.get(path, (None, None))
+            if walk_db is None:
+                walk_db = cache.peek_stamp(path)
+            if walk_dir is None:
+                walk_dir = cache.peek_subdir_stamp(path)
             db_stamp = dbmod.file_stamp(index.db_path(path))
-            walk_stamp = cache.peek_stamp(path)
-            if walk_stamp is not None and db_stamp != walk_stamp:
-                self.capture_aborts += 1
+            if walk_db is not None and db_stamp != tuple(walk_db):
+                self._abort_capture()
                 return False
-            listing = cache.peek_subdir_stamp(path)
             dir_stamp = dbmod.dir_stamp(index.index_dir(path))
-            if listing is not None and dir_stamp != listing:
-                self.capture_aborts += 1
+            if walk_dir is not None and dir_stamp != tuple(walk_dir):
+                self._abort_capture()
                 return False
             stamps[path] = (db_stamp, dir_stamp)
         start = key[3]
@@ -514,7 +639,7 @@ class ResultCache:
         cursor = ChangefeedCheckpoint(index.root).load()
         nbytes = capture.nbytes + 128 * len(stamps)
         if nbytes > self.max_entry_bytes:
-            self.capture_aborts += 1
+            self._abort_capture()
             return False
         entry = CacheEntry(
             key=key,
@@ -525,6 +650,7 @@ class ResultCache:
             cursor=cursor,
             inv_seq=inv_seq_at_start,
             nbytes=nbytes,
+            stamped_at=stamped_at,
         )
         rec = obs.metrics()
         with self._lock:
@@ -543,6 +669,10 @@ class ResultCache:
             if evicted and rec.enabled:
                 rec.counter("gufi_result_cache_evictions_total", evicted)
         return True
+
+    def _abort_capture(self) -> None:
+        with self._lock:
+            self.capture_aborts += 1
 
     def _evict_locked(self, scope: CredKey) -> int:
         """LRU eviction: first bring the storing scope under its

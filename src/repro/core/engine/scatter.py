@@ -319,6 +319,11 @@ class _WorkerResult:
     error: str | None
     #: the shard's touched paths when the parent asked for them
     visited: list[str] | None = None
+    #: path -> (db.db stamp, listing stamp) this worker's DirMeta
+    #: cache validated during the walk — the parent's result-cache
+    #: store cross-checks these against its own store-time stamps
+    #: (its cache never saw the reads; see resultcache.store)
+    visited_stamps: dict[str, tuple] | None = None
 
 
 _COUNTER_FIELDS = (
@@ -368,6 +373,15 @@ def _worker_main(task: _WorkerTask) -> None:
             )
         finally:
             engine.close()
+        visited_stamps: dict[str, tuple] | None = None
+        if task.collect_paths and result.visited_paths is not None:
+            visited_stamps = {
+                p: (
+                    index.cache.peek_stamp(p),
+                    index.cache.peek_subdir_stamp(p),
+                )
+                for p in set(result.visited_paths)
+            }
         walk = result.walk_stats
         payload = _WorkerResult(
             worker_id=task.worker_id,
@@ -380,6 +394,7 @@ def _worker_main(task: _WorkerTask) -> None:
             metrics=obs.snapshot().to_dict() if task.obs_metrics else None,
             error=None,
             visited=result.visited_paths,
+            visited_stamps=visited_stamps,
         )
     except BaseException:
         payload = _WorkerResult(
@@ -606,19 +621,26 @@ class ScatterGatherEngine:
             },
         )
         visited_paths: list[str] | None = None
+        visited_stamps: dict[str, tuple] | None = None
         if engine.collect_visited and not crashes:
             # A crashed worker's touched set is unknowable, so the
             # whole token is withheld — the parent's cache then
-            # (correctly) refuses to store this run.
+            # (correctly) refuses to store this run. Same for the
+            # walk-validated stamps: without every worker's, the
+            # store-time race cross-check cannot be tied to the
+            # actual reads, so nothing is cached.
             gathered: list[str] = []
+            gathered_stamps: dict[str, tuple] = {}
             complete = True
             for res in clean:
-                if res.visited is None:
+                if res.visited is None or res.visited_stamps is None:
                     complete = False
                     break
                 gathered.extend(res.visited)
+                gathered_stamps.update(res.visited_stamps)
             if complete:
                 visited_paths = gathered
+                visited_stamps = gathered_stamps
         stage_seconds: dict[str, float] | None = None
         if timing:
             stage_seconds = {"T": 0.0, "S": 0.0, "E": 0.0, "J": 0.0, "G": g_time}
@@ -639,6 +661,7 @@ class ScatterGatherEngine:
             truncated=summary.truncated,
             walk_stats=walk,
             visited_paths=visited_paths,
+            visited_stamps=visited_stamps,
             stage_seconds=stage_seconds,
         )
 

@@ -79,6 +79,12 @@ class QueryResult:
     #: validity token for this run (see engine/resultcache.py); None
     #: when collection was off or the set is unreliable (worker crash)
     visited_paths: list[str] | None = None
+    #: path -> (db.db stamp, listing stamp) the walk's DirMeta cache
+    #: validated its reads against, shipped back from scatter-gather
+    #: workers so the parent's result-cache store can cross-check its
+    #: store-time stamps against the actual reads (single-process runs
+    #: leave this None — the stamps are in the engine's own cache)
+    visited_stamps: dict[str, tuple] | None = None
     #: True when this result was replayed from the materialized result
     #: cache instead of a traversal
     cached: bool = False

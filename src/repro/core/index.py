@@ -126,8 +126,16 @@ class DirMetaCache:
         for a full clear."""
         self._listeners.append(cb)
 
+    def remove_listener(self, cb) -> None:
+        """Unsubscribe a listener registered with :meth:`add_listener`.
+        Unknown callbacks are ignored (unbind is idempotent)."""
+        try:
+            self._listeners.remove(cb)
+        except ValueError:
+            pass
+
     def _notify(self, path: str | None, subtree: bool) -> None:
-        for cb in self._listeners:
+        for cb in list(self._listeners):
             cb(path, subtree)
 
     # -- stamp peeks (no validation, no stat) -------------------------

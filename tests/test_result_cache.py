@@ -111,6 +111,30 @@ class TestCacheBasics:
         assert r.cached
         assert len(cache) == 1
 
+    def test_whitespace_inside_literals_distinguishes_entries(
+        self, cached_engine
+    ):
+        """Normalization must never collapse whitespace *inside* a SQL
+        string literal: ``'a  b'`` and ``'a b'`` are different queries
+        and sharing a key would serve one query the other's rows."""
+        eng, cache = cached_engine
+        a = eng.run(QuerySpec(E="SELECT name || ' one  two' FROM pentries"))
+        b = eng.run(QuerySpec(E="SELECT name || ' one two' FROM pentries"))
+        assert not b.cached
+        assert len(cache) == 2
+        assert sorted(a.rows) != sorted(b.rows)
+
+    def test_norm_sql_is_quote_aware(self):
+        from repro.core.engine.resultcache import _norm_sql
+
+        assert _norm_sql("SELECT  a\n FROM t") == "SELECT a FROM t"
+        assert _norm_sql("WHERE n = 'a  b'") == "WHERE n = 'a  b'"
+        assert _norm_sql("WHERE n = 'a\tb'") != _norm_sql("WHERE n = 'a b'")
+        assert _norm_sql('SELECT "a  b" FROM t') == 'SELECT "a  b" FROM t'
+        # a literal with an alias must not collapse into an escaped
+        # quote inside one literal
+        assert _norm_sql("SELECT 'a' 'b'") != _norm_sql("SELECT 'a''b'")
+
     def test_different_start_paths_are_distinct_entries(self, cached_engine):
         eng, cache = cached_engine
         r_home = eng.run(E_ALL, "/home")
@@ -294,6 +318,38 @@ class TestInvalidation:
         finally:
             eng.close()
 
+    def test_journal_fast_path_bounded_by_stamp_ttl(self, demo_tree,
+                                                    tmp_path):
+        """A writer in *another process* journals nothing and fires no
+        hooks, so the stat-free changefeed fast path cannot see it.
+        Unless the journal is declared exclusive, the fast path must
+        fall back to the stamp pass within ``stamp_ttl`` — a foreign
+        rewrite is detected, not masked forever."""
+        import sqlite3
+
+        index = dir2index(demo_tree, tmp_path / "idx", opts=OPTS).index
+        journal = ChangeJournal()
+        demo_tree.set_changelog(journal)
+        # ttl 0: every lookup re-stamps, so detection is immediate
+        cache = ResultCache(journal=journal, stamp_ttl=0.0)
+        eng = QueryEngine(index, nthreads=NTHREADS, result_cache=cache)
+        try:
+            eng.run(E_ALL)
+            assert eng.run(E_ALL).cached
+            con = sqlite3.connect(index.db_path("/public"))
+            con.execute(
+                "INSERT INTO entries (name, type, mode, uid, gid, size) "
+                "VALUES ('foreign.txt', 'f', 420, 0, 0, 3)"
+            )
+            con.commit()
+            con.close()
+            r = eng.run(E_ALL)
+            assert not r.cached
+            assert any("foreign.txt" in str(row[0]) for row in r.rows)
+            assert sorted(r.rows) == cold_rows(index, E_ALL)
+        finally:
+            eng.close()
+
     def test_permission_change_on_ancestor_invalidates(self, demo_tree,
                                                        tmp_path):
         """chmod on an *ancestor* of the query start changes
@@ -466,6 +522,60 @@ class TestBounds:
         assert cache.evictions >= 1
 
 
+class TestBinding:
+    """A long-lived shared cache bound to many short-lived indexes
+    must not pin their DirMeta caches (or listener cycles) in
+    memory."""
+
+    def test_bound_index_cache_is_not_pinned(self, demo_tree, tmp_path):
+        import gc
+        import weakref
+
+        cache = ResultCache()
+        index = dir2index(demo_tree, tmp_path / "idx", opts=OPTS).index
+        eng = QueryEngine(index, nthreads=NTHREADS, result_cache=cache)
+        eng.run(E_ALL)
+        eng.close()
+        ref = weakref.ref(index.cache)
+        del eng, index
+        gc.collect()
+        assert ref() is None  # the shared cache held no strong ref
+
+    def test_bind_is_idempotent_per_index(self, demo_index):
+        cache = ResultCache()
+        e1 = QueryEngine(demo_index, nthreads=NTHREADS, result_cache=cache)
+        e2 = QueryEngine(demo_index, nthreads=NTHREADS, result_cache=cache)
+        try:
+            assert len(demo_index.cache._listeners) == 1
+        finally:
+            e1.close()
+            e2.close()
+
+    def test_close_unhooks_listeners(self, demo_index):
+        cache = ResultCache()
+        eng = QueryEngine(demo_index, nthreads=NTHREADS, result_cache=cache)
+        try:
+            n = len(demo_index.cache._listeners)
+            assert n >= 1
+            cache.close()
+            assert len(demo_index.cache._listeners) == n - 1
+            cache.close()  # idempotent
+        finally:
+            eng.close()
+
+    def test_dead_cache_listener_self_removes(self, demo_index):
+        import gc
+
+        cache = ResultCache()
+        eng = QueryEngine(demo_index, nthreads=NTHREADS, result_cache=cache)
+        eng.close()
+        del eng, cache
+        gc.collect()
+        # the orphaned hook drops itself on the next notification
+        demo_index.cache.invalidate("/public")
+        assert len(demo_index.cache._listeners) == 0
+
+
 @pytest.mark.skipif(not FORK, reason="scatter cache tests rely on fork")
 class TestScatterGather:
     def test_parent_caches_the_gathered_result(self, dataset2_index):
@@ -482,6 +592,57 @@ class TestScatterGather:
             assert sorted(r2.rows) == cold_rows(index, E_ALL)
         finally:
             eng.close()
+
+    def test_workers_ship_walk_validated_stamps(self, dataset2_index):
+        """The parent's DirMeta cache never saw the workers' reads, so
+        the store-time race cross-check must run against the stamps
+        the workers validated and shipped back — one per touched
+        path."""
+        index = dataset2_index.index
+        cache = ResultCache()
+        eng = QueryEngine(
+            index, nthreads=NTHREADS, processes=2, result_cache=cache
+        )
+        try:
+            r = eng.run(E_ALL)
+            assert not r.cached
+            assert r.visited_stamps is not None
+            assert set(r.visited_stamps) == set(r.visited_paths)
+            # at least the visited (db-opened) paths carry a db stamp
+            assert any(
+                db is not None for db, _ in r.visited_stamps.values()
+            )
+            assert eng.run(E_ALL).cached  # matching stamps stored fine
+        finally:
+            eng.close()
+
+    def test_mismatched_worker_stamps_abort_the_store(self, dataset2_index):
+        """A shipped walk stamp that disagrees with the store-time
+        stamp means a write landed between a worker's read and the
+        parent's store: nothing may be cached."""
+        index = dataset2_index.index
+        cache = ResultCache()
+        eng = QueryEngine(
+            index, nthreads=NTHREADS, processes=2, result_cache=cache
+        )
+        real_store = cache.store
+
+        def tampered_store(key, capture, result, index_, inv_seq):
+            result.visited_stamps = {
+                p: ((0, 0, 0), None) for p in result.visited_paths
+            }
+            return real_store(key, capture, result, index_, inv_seq)
+
+        cache.store = tampered_store
+        before = cache.capture_aborts
+        try:
+            r = eng.run(E_ALL)
+        finally:
+            cache.store = real_store
+            eng.close()
+        assert not r.cached
+        assert len(cache) == 0
+        assert cache.capture_aborts == before + 1
 
     def test_worker_crash_withholds_the_store(self, dataset2_index):
         from repro.core.engine.scatter import ScatterGatherEngine
