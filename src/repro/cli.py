@@ -436,6 +436,63 @@ def cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro import obs
+    from repro.core.server import GUFIServer, IdentityProvider
+    from repro.serve import GUFIApp
+    from repro.serve.http import serve
+
+    # /metrics is part of the serving contract: record even without
+    # an explicit --metrics flag
+    metrics_enabled_here = not obs.metrics().enabled
+    if metrics_enabled_here:
+        obs.enable(metrics=True)
+
+    if args.passwd:
+        with open(args.passwd, encoding="utf-8") as fh:
+            passwd_text = fh.read()
+        group_text = ""
+        if args.group:
+            with open(args.group, encoding="utf-8") as fh:
+                group_text = fh.read()
+        identity = IdentityProvider.from_passwd(passwd_text, group_text)
+    else:
+        # demo principals matching the generated demo namespace
+        identity = IdentityProvider()
+        identity.add_user("root", uid=0, gid=0)
+        identity.add_user("alice", uid=1001, gid=1001)
+        identity.add_user("bob", uid=1002, gid=1002)
+        identity.add_user("carol", uid=1003, gid=1003,
+                          groups=frozenset({100}))
+
+    index = GUFIIndex(args.index_root)
+    with GUFIServer(
+        index, identity, nthreads=args.nthreads,
+        result_cache_mb=args.result_cache_mb,
+    ) as server, GUFIApp(
+        server,
+        max_inflight=args.max_inflight,
+        queue_limit=args.queue_limit,
+        tenant_qps=args.tenant_qps,
+        tenant_burst=args.tenant_burst,
+        tenant_concurrency=args.tenant_concurrency,
+        deadline_s=args.deadline_ms / 1000.0,
+    ) as app:
+        print(f"serving {args.index_root} on "
+              f"http://{args.host}:{args.port} "
+              f"(inflight={args.max_inflight} queue={args.queue_limit})")
+        try:
+            asyncio.run(serve(app, host=args.host, port=args.port))
+        except KeyboardInterrupt:
+            print("shutting down")
+        finally:
+            if metrics_enabled_here:
+                obs.disable()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-gufi",
@@ -581,6 +638,38 @@ def build_parser() -> argparse.ArgumentParser:
     _add_threads(p)
     _add_obs(p)
     p.set_defaults(func=cmd_changefeed)
+
+    p = sub.add_parser(
+        "serve",
+        help="multi-tenant HTTP serving over the restricted server",
+    )
+    p.add_argument("index_root")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080)
+    p.add_argument("--max-inflight", type=int, default=4,
+                   help="global execution slots (worker threads)")
+    p.add_argument("--queue-limit", type=int, default=16,
+                   help="bounded admission queue; overflow is shed (503)")
+    p.add_argument("--tenant-qps", type=float, default=None,
+                   help="per-tenant sustained request rate (default: off)")
+    p.add_argument("--tenant-burst", type=float, default=None,
+                   help="per-tenant burst allowance (default: max(1, qps))")
+    p.add_argument("--tenant-concurrency", type=int, default=None,
+                   help="per-tenant in-flight request cap (default: off)")
+    p.add_argument("--deadline-ms", type=float, default=30_000.0,
+                   help="default per-request deadline; clients may only "
+                        "shorten it")
+    p.add_argument("--passwd", default=None,
+                   help="passwd-format file of principals "
+                        "(default: demo users)")
+    p.add_argument("--group", default=None,
+                   help="group-format file of supplementary memberships")
+    p.add_argument("--result-cache-mb", type=float, default=64.0,
+                   metavar="MB",
+                   help="shared result-cache byte budget (default 64)")
+    _add_threads(p)
+    _add_obs(p)
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("split-trace",
                        help="split a trace for distributed ingest")

@@ -36,7 +36,14 @@ from .sinks import (
     ThreadFileSink,
 )
 from .stages import MergeRunner, StageRunner
-from .traversal import StageGates, Traversal, normalize_path, path_depth
+from .traversal import (
+    CancelToken,
+    QueryCancelled,
+    StageGates,
+    Traversal,
+    normalize_path,
+    path_depth,
+)
 from .types import (
     QueryPermissionError,
     QueryResult,
@@ -48,10 +55,12 @@ __all__ = [
     "AggregateDBSink",
     "BoundedSink",
     "CacheEntry",
+    "CancelToken",
     "CaptureSink",
     "MemorySink",
     "MergeRunner",
     "PaginatedSink",
+    "QueryCancelled",
     "QueryEngine",
     "QueryPermissionError",
     "QueryResult",

@@ -42,7 +42,7 @@ from repro.fs.permissions import (
     can_read_dir,
     can_search_dir,
 )
-from repro.scan.walker import ParallelTreeWalker
+from repro.scan.walker import FatalWalkError, ParallelTreeWalker
 from repro.sim.blktrace import IOTracer
 
 from .. import db as dbmod
@@ -54,7 +54,13 @@ from ..xattrs import build_xattr_views, drop_xattr_views
 from .resultcache import CacheEntry, CaptureSink, ResultCache, make_key
 from .sinks import MemorySink, ResultSink, ThreadFileSink
 from .stages import MergeRunner, StageRunner, run_sql
-from .traversal import Traversal, normalize_path, path_depth
+from .traversal import (
+    CancelToken,
+    QueryCancelled,
+    Traversal,
+    normalize_path,
+    path_depth,
+)
 from .types import (
     QueryPermissionError,
     QueryResult,
@@ -131,12 +137,21 @@ class QueryEngine:
         start: str = "/",
         plan: QueryPlan | None = None,
         sink: ResultSink | None = None,
+        cancel: CancelToken | None = None,
     ) -> QueryResult:
         """Parallel permission-gated descent from ``start``.
 
         ``sink`` chooses the result path; the default is in-memory
         rows (or per-thread files when ``spec.output_prefix`` is set,
         preserving the ``-o`` shorthand).
+
+        ``cancel`` is a cooperative :class:`CancelToken` (deadline
+        and/or caller-side kill): the traversal layer observes it once
+        per directory and aborts the walk with :class:`QueryCancelled`
+        — the serving layer's deadline enforcement. Cancellation is
+        cooperative *within this process*: a ``processes > 1`` run
+        checks the token at dispatch but the worker processes do not
+        observe it mid-shard.
 
         With ``processes > 1`` the run is executed scatter-gather: the
         index is partitioned into subtree shards, each processed by a
@@ -149,9 +164,11 @@ class QueryEngine:
         revalidated materialized entry when one exists (rows replayed
         through ``sink``), and otherwise captured through a tee for
         the next caller — see :mod:`repro.core.engine.resultcache`."""
+        if cancel is not None and cancel.cancelled:
+            raise QueryCancelled("query cancelled before dispatch")
         if self.result_cache is not None:
-            return self._run_cached(spec, start, plan, sink)
-        return self._run_dispatch(spec, start, plan, sink)
+            return self._run_cached(spec, start, plan, sink, cancel)
+        return self._run_dispatch(spec, start, plan, sink, cancel)
 
     def _run_dispatch(
         self,
@@ -159,11 +176,12 @@ class QueryEngine:
         start: str,
         plan: QueryPlan | None,
         sink: ResultSink | None,
+        cancel: CancelToken | None = None,
     ) -> QueryResult:
         """Route one uncached run: scatter-gather or single-process."""
         if self.processes > 1:
             return self._scatter().run(spec, start, plan=plan, sink=sink)
-        return self._run_local(spec, start, plan, sink)
+        return self._run_local(spec, start, plan, sink, cancel)
 
     def _run_cached(
         self,
@@ -171,9 +189,14 @@ class QueryEngine:
         start: str,
         plan: QueryPlan | None,
         sink: ResultSink | None,
+        cancel: CancelToken | None = None,
     ) -> QueryResult:
         """The result-cache front end of :meth:`run`: replay a valid
-        entry, or run for real through a capturing tee and store."""
+        entry, or run for real through a capturing tee and store.
+
+        Replay ignores ``cancel`` past the entry check in :meth:`run`:
+        serving a validated materialized entry is O(rows), already far
+        cheaper than any deadline worth enforcing."""
         cache = self.result_cache
         assert cache is not None
         key = make_key(self.creds, spec, plan, normalize_path(start))
@@ -193,7 +216,7 @@ class QueryEngine:
             self._default_sink(spec) if sink is None else sink,
             cache.max_entry_bytes,
         )
-        result = self._run_dispatch(spec, start, plan, capture)
+        result = self._run_dispatch(spec, start, plan, capture, cancel)
         cache.store(key, capture, result, self.index, inv_seq)
         return result
 
@@ -244,6 +267,7 @@ class QueryEngine:
         start: str,
         plan: QueryPlan | None,
         sink: ResultSink | None,
+        cancel: CancelToken | None = None,
     ) -> QueryResult:
         """The single-process run path (also the scatter fallback)."""
         sink = self._default_sink(spec) if sink is None else sink
@@ -252,7 +276,7 @@ class QueryEngine:
             "query.run",
             spec,
             start,
-            lambda otr: self._run_impl(spec, start, plan, sink, otr),
+            lambda otr: self._run_impl(spec, start, plan, sink, otr, cancel),
         )
 
     def run_shard(
@@ -308,8 +332,14 @@ class QueryEngine:
         path: str = "/",
         plan: QueryPlan | None = None,
         sink: ResultSink | None = None,
+        cancel: CancelToken | None = None,
     ) -> QueryResult:
-        """Process exactly one directory's database (no descent)."""
+        """Process exactly one directory's database (no descent).
+
+        A single directory is the cancellation granularity, so
+        ``cancel`` is only checked on entry here."""
+        if cancel is not None and cancel.cancelled:
+            raise QueryCancelled("query cancelled before dispatch")
         if sink is None:
             sink = MemorySink()
         sink._claim()
@@ -559,10 +589,13 @@ class QueryEngine:
         plan: QueryPlan | None,
         sink: ResultSink,
         otr: Any,
+        cancel: CancelToken | None = None,
     ) -> QueryResult:
         start = normalize_path(start)
         start_depth = path_depth(start)
-        trav = Traversal(self.index, self.creds, spec, plan, start_depth)
+        trav = Traversal(
+            self.index, self.creds, spec, plan, start_depth, cancel=cancel
+        )
         trav.check_root_reachable(start)
         if not self.index.db_path(start).exists():
             raise FileNotFoundError(f"no index directory for {start!r}")
@@ -614,6 +647,10 @@ class QueryEngine:
 
         def process_dir(unit: tuple[str, bool]) -> list[tuple[str, bool]]:
             source_path, may_descend = unit
+            # Cancellation checkpoint: observed before any work for
+            # this directory. QueryCancelled is a FatalWalkError, so
+            # the walker aborts the whole pool promptly.
+            trav.checkpoint()
 
             def children(paths: list[str]) -> list[tuple[str, bool]]:
                 if not may_descend:
@@ -741,7 +778,20 @@ class QueryEngine:
             expand = process_dir
 
         walker = ParallelTreeWalker(self.nthreads)
-        stats = walker.walk(units, expand)
+        try:
+            stats = walker.walk(units, expand)
+        except FatalWalkError:
+            # Cancellation (and simulated-crash faults) abort the walk
+            # after every worker thread has joined, so the checked-out
+            # states are idle: flush their outputs and return them to
+            # the pool instead of orphaning them — a long-lived server
+            # times queries out routinely and must not leak a pool's
+            # worth of connections each time.
+            aborted = list(run_states.values())
+            for st in aborted:
+                st.finish_output()
+            pool.release(aborted)
+            raise
 
         states = list(run_states.values())
         visited = sum(st.visited for st in states)

@@ -16,7 +16,13 @@ directory (and the one after — descent):
   (a rolled-up database already contains its subtree, §III-C3), the
   plan's ``max_level`` / subtree-``maxdepth`` bounds cut whole
   subtrees, and child work units come from the index's cached
-  subdirectory listings.
+  subdirectory listings;
+* **cooperative cancellation**: a :class:`CancelToken` (a deadline, a
+  caller-side kill, or both) is observed once per directory, *before*
+  any work for that directory happens, so a query past its deadline
+  stops traversing instead of finishing the tree and reporting late —
+  the enforcement half of the slow-query machinery the serving layer
+  needs (:mod:`repro.serve`).
 
 The layer never touches a SQLite connection: it reads only the
 (mtime+inode-validated) metadata cache. Everything that needs the
@@ -25,6 +31,7 @@ database lives in :mod:`repro.core.engine.stages`.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from repro.fs.permissions import (
@@ -32,10 +39,61 @@ from repro.fs.permissions import (
     can_read_dir,
     can_search_dir,
 )
+from repro.scan.walker import FatalWalkError
 
 from ..index import DirMeta, GUFIIndex
 from ..plan import QueryPlan
 from .types import QueryPermissionError, QuerySpec
+
+
+class QueryCancelled(FatalWalkError):
+    """The run's :class:`CancelToken` fired mid-walk.
+
+    Subclassing :class:`~repro.scan.walker.FatalWalkError` is what
+    makes cancellation *prompt*: the walker's abort path drains the
+    remaining work queue without processing it, so every worker thread
+    stops within one directory of the flag being raised, and the
+    exception propagates out of :meth:`QueryEngine.run`.
+    """
+
+
+class CancelToken:
+    """Cooperative cancel flag, optionally with a monotonic deadline.
+
+    Worker threads poll it (one attribute read plus, when a deadline is
+    set, one clock read) once per directory; nothing sleeps on it. The
+    flag is a plain bool written once — atomic under the GIL — so the
+    token is safely shared between an asyncio serving thread and the
+    engine's walker threads without locking.
+    """
+
+    __slots__ = ("_cancelled", "deadline")
+
+    def __init__(self, deadline: float | None = None) -> None:
+        #: absolute ``time.monotonic()`` deadline (None: manual only)
+        self.deadline = deadline
+        self._cancelled = False
+
+    @classmethod
+    def after(cls, seconds: float) -> "CancelToken":
+        """A token that trips ``seconds`` from now."""
+        return cls(deadline=time.monotonic() + seconds)
+
+    def cancel(self) -> None:
+        """Trip the flag (idempotent; callable from any thread)."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled or (
+            self.deadline is not None and time.monotonic() >= self.deadline
+        )
+
+    def remaining(self) -> float | None:
+        """Seconds until the deadline (None when deadline-less)."""
+        if self.deadline is None:
+            return None
+        return self.deadline - time.monotonic()
 
 
 def normalize_path(path: str) -> str:
@@ -75,12 +133,36 @@ class Traversal:
         spec: QuerySpec,
         plan: QueryPlan | None,
         start_depth: int = 0,
+        cancel: CancelToken | None = None,
     ) -> None:
         self.index = index
         self.creds = creds
         self.spec = spec
         self.plan = plan if spec.per_dir_stages() else None
         self.start_depth = start_depth
+        self.cancel = cancel
+
+    # ------------------------------------------------------------------
+    # Cancellation
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> None:
+        """Raise :class:`QueryCancelled` if the run's token fired.
+
+        Called once per directory before any per-directory work, so
+        the cancellation granularity — and therefore how far past its
+        deadline a query can run — is bounded by the cost of a single
+        directory, not of the whole tree."""
+        token = self.cancel
+        if token is not None and token.cancelled:
+            raise QueryCancelled(
+                "query cancelled"
+                + (
+                    " (deadline exceeded)"
+                    if token.deadline is not None
+                    and time.monotonic() >= token.deadline
+                    else ""
+                )
+            )
 
     # ------------------------------------------------------------------
     # Permission enforcement

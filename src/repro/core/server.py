@@ -18,13 +18,14 @@ from __future__ import annotations
 
 import threading
 import time
+import warnings
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 
 from repro import obs
 from repro.fs.permissions import Credentials
 
-from .engine import PaginatedSink, ResultCache, ResultSink
+from .engine import CancelToken, PaginatedSink, ResultCache, ResultSink
 from .index import GUFIIndex
 from .query import QueryResult, QuerySpec
 from .tools import FindFilters, GUFITools
@@ -259,11 +260,17 @@ class GUFIServer:
             return tools
 
     def close(self) -> None:
-        """Dispose every warm session (scratch dirs, connections)."""
+        """Dispose every warm session (scratch dirs, connections) and
+        detach the shared result cache from the index's invalidation
+        hooks — without the detach, a closed server would leave live
+        listener callbacks bound to the :class:`DirMetaCache`, firing
+        into (and pinning) a cache nobody serves from anymore."""
         with self._sessions_lock:
             for tools in self._sessions.values():
                 tools.close()
             self._sessions.clear()
+        if self.result_cache is not None:
+            self.result_cache.close()
 
     def __enter__(self) -> "GUFIServer":
         return self
@@ -314,7 +321,9 @@ class GUFIServer:
                 raise TypeError("query requires a QuerySpec")
             plan = kwargs.pop("plan", None)
             result: QueryResult = tools.query.run(
-                spec, start, plan=plan, sink=self._response_sink()
+                spec, start, plan=plan,
+                sink=kwargs.pop("sink", None) or self._response_sink(),
+                cancel=kwargs.pop("cancel", None),
             )
             return result
         method = getattr(tools, tool)
@@ -323,12 +332,25 @@ class GUFIServer:
                 start,
                 kwargs.pop("filters", None),
                 planned=kwargs.pop("planned", True),
-                sink=self._response_sink(),
+                sink=kwargs.pop("sink", None) or self._response_sink(),
+                cancel=kwargs.pop("cancel", None),
             )
         if tool == "xattr_search":
-            # historical calling convention: the positional ``start``
-            # slot carries the needle (real start comes via kwargs)
             kwargs.setdefault("sink", self._response_sink())
+            needle = kwargs.pop("needle", None)
+            if needle is not None:
+                # keyword form: ``start`` is the real query root
+                return method(needle, start=start, **kwargs)
+            # historical calling convention: the positional ``start``
+            # slot carries the needle (real start comes via kwargs) —
+            # kept working, but deprecated in favour of ``needle=``
+            warnings.warn(
+                "xattr_search via the positional start slot is "
+                "deprecated; pass needle=<value> (the positional slot "
+                "is then the query root)",
+                DeprecationWarning,
+                stacklevel=4,
+            )
         return method(start, **kwargs)
 
     def _response_sink(self) -> ResultSink | None:

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from repro.fs.permissions import ROOT, Credentials, format_mode
 from repro.sim.blktrace import IOTracer
 
-from .engine import QueryEngine, ResultSink
+from .engine import CancelToken, QueryEngine, ResultSink
 from .index import GUFIIndex
 from .plan import QueryPlan, plan_for
 from .query import QueryResult, QuerySpec
@@ -114,6 +114,7 @@ class GUFITools:
         filters: FindFilters | None = None,
         planned: bool = True,
         sink: ResultSink | None = None,
+        cancel: CancelToken | None = None,
     ) -> QueryResult:
         """``gufi_find``: paths of matching entries (and directories
         when no type filter excludes them).
@@ -142,9 +143,11 @@ class GUFITools:
             )
         else:
             plan = None
-        return self.query.run(spec, start, plan=plan, sink=sink)
+        return self.query.run(spec, start, plan=plan, sink=sink,
+                              cancel=cancel)
 
-    def ls(self, path: str = "/", long_format: bool = False) -> list[str]:
+    def ls(self, path: str = "/", long_format: bool = False,
+           cancel: CancelToken | None = None) -> list[str]:
         """``gufi_ls``: one directory's listing (non-recursive)."""
         spec = QuerySpec(
             E="SELECT name, type, mode, uid, gid, size, mtime FROM entries "
@@ -155,7 +158,7 @@ class GUFITools:
         # + a subdir-free expansion. Simplest correct approach: run on
         # the single directory with a spec that the engine naturally
         # prunes — we reuse run() then filter to rows from this path.
-        result = self.query.run_single(spec, path)
+        result = self.query.run_single(spec, path, cancel=cancel)
         out = []
         for name, ftype, mode, uid, gid, size, mtime in result.rows:
             if long_format:
@@ -205,7 +208,8 @@ class GUFITools:
             "gid": gid, "size": size, "mtime": mtime, "linkname": linkname,
         }
 
-    def du(self, start: str = "/", use_tsummary: bool = False) -> int:
+    def du(self, start: str = "/", use_tsummary: bool = False,
+           cancel: CancelToken | None = None) -> int:
         """``gufi_du``: bytes under ``start`` (entries + directories).
 
         ``use_tsummary=True`` additionally consults tree-summary
@@ -222,16 +226,18 @@ class GUFITools:
             J="INSERT INTO aggregate.sizes SELECT TOTAL(total_size) FROM sizes",
             G="SELECT TOTAL(total_size) FROM sizes",
         )
-        result = self.query.run(spec, start)
+        result = self.query.run(spec, start, cancel=cancel)
         return sum(int(r[0] or 0) for r in result.rows)
 
-    def dir_sizes(self, start: str = "/") -> list[tuple[str, int]]:
+    def dir_sizes(self, start: str = "/",
+                  cancel: CancelToken | None = None) -> list[tuple[str, int]]:
         """Size+name of every accessible directory (paper query 2)."""
         spec = QuerySpec(S="SELECT spath(name, isroot), totsize FROM summary")
-        result = self.query.run(spec, start)
+        result = self.query.run(spec, start, cancel=cancel)
         return [(r[0], r[1]) for r in result.rows]
 
-    def largest_files(self, start: str = "/", limit: int = 10) -> list[tuple]:
+    def largest_files(self, start: str = "/", limit: int = 10,
+                      cancel: CancelToken | None = None) -> list[tuple]:
         """Top-N files by size — one of the paper's pre-generated web
         queries. Uses per-thread collection plus a final merge sort."""
         spec = QuerySpec(
@@ -246,10 +252,11 @@ class GUFITools:
             ),
             G=f"SELECT p, size FROM top ORDER BY size DESC LIMIT {int(limit)}",
         )
-        return self.query.run(spec, start).rows
+        return self.query.run(spec, start, cancel=cancel).rows
 
     def recently_modified(
-        self, start: str = "/", since: int = 0, limit: int = 20
+        self, start: str = "/", since: int = 0, limit: int = 20,
+        cancel: CancelToken | None = None,
     ) -> list[tuple]:
         """Most recently modified accessible files (web-portal query)."""
         spec = QuerySpec(
@@ -265,9 +272,10 @@ class GUFITools:
             ),
             G=f"SELECT p, mtime FROM recent ORDER BY mtime DESC LIMIT {int(limit)}",
         )
-        return self.query.run(spec, start).rows
+        return self.query.run(spec, start, cancel=cancel).rows
 
-    def space_by_user(self, start: str = "/") -> dict[int, int]:
+    def space_by_user(self, start: str = "/",
+                      cancel: CancelToken | None = None) -> dict[int, int]:
         """Bytes per uid across the accessible tree (quota reporting)."""
         spec = QuerySpec(
             I="CREATE TABLE usage (uid INTEGER, bytes INTEGER)",
@@ -281,10 +289,12 @@ class GUFITools:
             ),
             G="SELECT uid, TOTAL(bytes) FROM usage GROUP BY uid",
         )
-        return {int(u): int(b) for u, b in self.query.run(spec, start).rows}
+        rows = self.query.run(spec, start, cancel=cancel).rows
+        return {int(u): int(b) for u, b in rows}
 
     def xattr_search(
-        self, needle: str, start: str = "/", sink: ResultSink | None = None
+        self, needle: str, start: str = "/", sink: ResultSink | None = None,
+        cancel: CancelToken | None = None,
     ) -> QueryResult:
         """Find entries whose (accessible) xattr values match —
         Fig 9's scan/stab query shape."""
@@ -295,4 +305,4 @@ class GUFITools:
             ),
             xattrs=True,
         )
-        return self.query.run(spec, start, sink=sink)
+        return self.query.run(spec, start, sink=sink, cancel=cancel)

@@ -236,3 +236,62 @@ class TestValidate:
         (idx.index_dir("/d") / "xattrs.db.u1002").unlink()
         report = validate(idx)
         assert any("xattrs.db.u1002 missing" in p for p in report.problems)
+
+
+class TestServerClose:
+    def test_close_unbinds_result_cache_listeners(self, demo_index, identity):
+        """Regression: ``GUFIServer.close()`` used to dispose sessions
+        but leak the shared result cache's DirMeta-cache listener
+        subscriptions — every closed server left a dangling hook on
+        the index."""
+        srv = GUFIServer(
+            demo_index, identity, nthreads=NTHREADS, result_cache_mb=4.0
+        )
+        srv.invoke("alice", "query", spec=Q1_LIST_PATHS)  # binds the cache
+        assert demo_index.cache._listeners, "cache never bound"
+        assert srv.result_cache is not None
+        srv.close()
+        assert demo_index.cache._listeners == []
+        assert srv.result_cache._bound == []
+
+    def test_close_is_idempotent(self, demo_index, identity):
+        srv = GUFIServer(
+            demo_index, identity, nthreads=NTHREADS, result_cache_mb=4.0
+        )
+        srv.invoke("alice", "du")
+        srv.close()
+        srv.close()
+        assert demo_index.cache._listeners == []
+
+
+class TestXattrSearchConvention:
+    @pytest.fixture
+    def xattr_server(self, xattr_namespace):
+        _, _, _, index = xattr_namespace
+        idp = IdentityProvider()
+        idp.add_user("root", uid=0, gid=0)
+        with GUFIServer(index, idp, nthreads=NTHREADS) as srv:
+            yield srv
+
+    def test_keyword_form(self, xattr_server, xattr_namespace):
+        """``needle=`` is the supported form: the positional slot is
+        the query root, like every other tool."""
+        _, _, needle, _ = xattr_namespace
+        result = xattr_server.invoke(
+            "root", "xattr_search", "/", needle="needle"
+        )
+        assert any(needle == r[0] for r in result.rows)
+
+    def test_positional_form_deprecated_but_works(
+        self, xattr_server, xattr_namespace
+    ):
+        """The historical convention smuggled the needle through the
+        ``start`` slot; it still works but warns."""
+        _, _, needle, _ = xattr_namespace
+        with pytest.warns(DeprecationWarning, match="positional start"):
+            legacy = xattr_server.invoke("root", "xattr_search", "needle")
+        modern = xattr_server.invoke(
+            "root", "xattr_search", "/", needle="needle"
+        )
+        assert {r[0] for r in legacy.rows} == {r[0] for r in modern.rows}
+        assert any(needle == r[0] for r in legacy.rows)
