@@ -138,11 +138,13 @@ def _obs_end(args: argparse.Namespace) -> None:
 
 def _build_opts(args: argparse.Namespace) -> BuildOptions:
     faults = FaultPlan.parse(args.fault_plan) if args.fault_plan else None
+    optional = ("names_fts",) if getattr(args, "fts_names", False) else ()
     return BuildOptions(
         nthreads=args.nthreads,
         resume=args.resume,
         retry=RetryPolicy(retries=args.retries),
         faults=faults,
+        optional_artifacts=optional,
     )
 
 
@@ -304,6 +306,56 @@ def cmd_stats(args: argparse.Namespace) -> int:
     print(f"entries:     {index.total_entries()}")
     print(f"index bytes: {index.total_db_bytes()}")
     return 0
+
+
+def cmd_index_migrate(args: argparse.Namespace) -> int:
+    from repro.store.migrate import migrate_index
+
+    result = migrate_index(args.index_root, resume=args.resume)
+    print(
+        f"migrated {result.dirs_migrated}/{result.dirs_seen} dirs "
+        f"({result.dirs_skipped} already current, "
+        f"{result.steps_applied} schema steps, "
+        f"{result.side_dbs_migrated} side dbs)"
+    )
+    if result.errors:
+        for path, msg in result.errors:
+            print(f"# failed {path}: {msg}", file=sys.stderr)
+        print(
+            f"# {len(result.errors)} dirs failed; journal kept — "
+            "rerun with --resume to finish",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def cmd_index_doctor(args: argparse.Namespace) -> int:
+    from repro.store.doctor import doctor
+
+    report = doctor(args.index_root)
+    versions = ", ".join(
+        f"v{v}: {n}" for v, n in sorted(report.versions.items())
+    ) or "none"
+    print(f"dirs:            {report.dirs_seen}")
+    print(f"schema versions: {versions}")
+    print(f"xattr side dbs:  {report.side_dbs}")
+    print(f"sidecars:        {report.sidecars}")
+    if report.dirs_outdated:
+        print(f"outdated dirs:   {report.dirs_outdated} (run `index migrate`)")
+    if report.dirs_newer:
+        print(f"newer-schema dirs: {report.dirs_newer} (upgrade this tool)")
+    for sp, shard in report.missing_shards:
+        print(f"# {sp}: tracked xattr shard {shard} missing", file=sys.stderr)
+    for sp, name in report.stale_partials:
+        print(f"# {sp}: stale staging file {name}", file=sys.stderr)
+    for sp, msg in report.errors:
+        print(f"# {sp}: {msg}", file=sys.stderr)
+    if report.healthy:
+        print("index is healthy")
+        return 0
+    print("# index has problems", file=sys.stderr)
+    return 1
 
 
 def cmd_search(args: argparse.Namespace) -> int:
@@ -510,6 +562,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "e.g. 'crash:build_dir_db:12' or 'io:walker.expand:3x2'")
     p.add_argument("--retries", type=int, default=2,
                    help="retries per directory on transient errors")
+    p.add_argument("--fts-names", action="store_true",
+                   help="also build the per-directory FTS5 name-search "
+                        "sidecar (requires SQLite FTS5)")
     _add_threads(p)
     _add_obs(p)
     p.set_defaults(func=cmd_trace2index)
@@ -600,6 +655,27 @@ def build_parser() -> argparse.ArgumentParser:
     _add_identity(p)
     _add_obs(p)
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "index", help="index maintenance: schema migrate, health doctor"
+    )
+    isub = p.add_subparsers(dest="index_command", required=True)
+    ip = isub.add_parser(
+        "migrate",
+        help="upgrade every directory database to the current schema "
+             "version (per-directory, resumable)",
+    )
+    ip.add_argument("index_root")
+    ip.add_argument("--resume", action="store_true",
+                    help="skip directories the migrate journal proves done")
+    ip.set_defaults(func=cmd_index_migrate)
+    ip = isub.add_parser(
+        "doctor",
+        help="read-only health report: schema versions, missing xattr "
+             "shards, stale staging files",
+    )
+    ip.add_argument("index_root")
+    ip.set_defaults(func=cmd_index_doctor)
 
     p = sub.add_parser("search", help="portal search-bar query language")
     p.add_argument("index_root")

@@ -44,7 +44,6 @@ entries, so the build path is structured to survive them:
 
 from __future__ import annotations
 
-import os
 import threading
 import time
 from dataclasses import dataclass, field
@@ -56,15 +55,12 @@ from repro.scan.faults import FaultPlan
 from repro.scan.scanners import record_from_inode
 from repro.scan.trace import DirStanza, TraceRecord, read_trace
 from repro.scan.walker import FatalWalkError, ParallelTreeWalker, RetryPolicy
+from repro.store.layout import PARTIAL_SUFFIX, DirStore
 
-from . import db as dbmod
 from . import schema
 from .checkpoint import BuildJournal
 from .index import GUFIIndex
 from .xattrs import shard_xattrs, write_xattr_shards
-
-#: suffix for staged (not yet published) database files
-PARTIAL_SUFFIX = ".partial"
 
 
 @dataclass
@@ -83,6 +79,11 @@ class BuildOptions:
     retry: RetryPolicy | None = field(default_factory=RetryPolicy)
     #: deterministic fault injection (tests, resilience experiments)
     faults: FaultPlan | None = None
+    #: optional per-directory artifact kinds to build alongside the
+    #: primary database, by registry key (e.g. ``("names_fts",)`` for
+    #: the FTS5 name sidecar) — see
+    #: :func:`repro.store.layout.register_artifact_kind`
+    optional_artifacts: tuple[str, ...] = ()
 
 
 @dataclass
@@ -239,16 +240,7 @@ def _sweep_partials(index_dir: Path) -> None:
     """Remove leftover ``.partial`` staging files in one index
     directory — residue of a crashed earlier attempt whose shard set
     may differ from the one just published."""
-    try:
-        with os.scandir(index_dir) as it:
-            stale = [e.name for e in it if e.name.endswith(PARTIAL_SUFFIX)]
-    except OSError:
-        return
-    for name in stale:
-        try:
-            os.unlink(index_dir / name)
-        except OSError:
-            pass
+    DirStore(index_dir).sweep_partials()
 
 
 def build_dir_db(
@@ -284,11 +276,11 @@ def _build_dir_db(
     src_path = stanza.directory.path
     if faults is not None:
         faults.fire("build_dir_db", src_path)
-    index_dir = index.index_dir(src_path)
-    os.makedirs(index_dir, exist_ok=True)
+    # DirStore.open sweeps crash-leftover staging files before this
+    # attempt stages its own.
+    store = DirStore.open(index.index_dir(src_path))
     depth = 0 if src_path == "/" else src_path.count("/")
-    tmp_db = index_dir / (schema.DB_NAME + PARTIAL_SUFFIX)
-    conn = dbmod.create_db(tmp_db, fresh=True)
+    conn = store.stage_primary()
     side_names: list[str] = []
     try:
         conn.execute("BEGIN")
@@ -303,22 +295,23 @@ def _build_dir_db(
         if opts.with_xattrs:
             shards = shard_xattrs(stanza.directory, stanza.entries)
             side_names = write_xattr_shards(
-                index_dir, conn, shards, suffix=PARTIAL_SUFFIX, faults=faults
+                store.index_dir, conn, shards, suffix=PARTIAL_SUFFIX, faults=faults
             )
     finally:
         conn.close()
+    staged = side_names + store.build_optional_artifacts(
+        opts.optional_artifacts, stanza, faults
+    )
     if faults is not None:
         faults.fire("build_dir_db.commit", src_path)
-    # Publish: side databases before db.db, which is the commit point.
-    for name in side_names:
-        os.replace(index_dir / (name + PARTIAL_SUFFIX), index_dir / name)
-    os.replace(tmp_db, index_dir / schema.DB_NAME)
-    _sweep_partials(index_dir)
+    # Publish: secondary artifacts before db.db, which is the commit
+    # point (see DirStore.publish).
+    store.publish(staged)
     index.apply_physical_mode(src_path, stanza.directory.mode)
     if journal is not None:
         journal.record(
             src_path,
-            dbmod.file_stamp(index.db_path(src_path)),
+            store.stamp(),
             len(stanza.entries),
             len(side_names),
         )

@@ -202,7 +202,7 @@ def _fix_depths(index: GUFIIndex, source_path: str) -> None:
         sp = index.source_path(idx_dir)
         expected = 0 if sp == "/" else sp.count("/")
         try:
-            conn = dbmod.open_rw(idx_dir / schema.DB_NAME)
+            conn = index.store(sp).open_rw()
         except Exception:
             continue
         try:

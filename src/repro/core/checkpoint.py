@@ -68,31 +68,41 @@ class BuildJournal:
     (at worst the final line is truncated, which the loader skips).
     """
 
-    def __init__(self, index_root: Path | str):
+    def __init__(self, index_root: Path | str, name: str = JOURNAL_NAME):
         self.root = Path(index_root)
+        self.name = name
         self.completed: dict[str, JournalEntry] = {}
         self._fh = None
         self._lock = threading.Lock()
 
     @property
     def journal_path(self) -> Path:
-        return self.root / JOURNAL_NAME
+        return self.root / self.name
 
     # ------------------------------------------------------------------
     # Open / load
     # ------------------------------------------------------------------
     @classmethod
     def open(
-        cls, index_root: Path | str, resume: bool = False, source: str = ""
+        cls,
+        index_root: Path | str,
+        resume: bool = False,
+        source: str = "",
+        name: str = JOURNAL_NAME,
     ) -> "BuildJournal":
         """Open the journal for a build.
 
         ``resume=True`` loads prior completion records and appends to
         the existing file; otherwise any stale journal is truncated
-        (a fresh build owes nothing to a previous attempt)."""
-        j = cls(index_root)
+        (a fresh build owes nothing to a previous attempt).
+
+        ``name`` selects the journal file — other resumable
+        per-directory sweeps (``gufi index migrate``) reuse this
+        machinery under their own file so a migration checkpoint never
+        collides with a build checkpoint."""
+        j = cls(index_root, name=name)
         if resume:
-            j.completed = cls.load(index_root)
+            j.completed = cls.load(index_root, name=name)
         mode = "a" if resume and j.journal_path.exists() else "w"
         j._fh = open(j.journal_path, mode, encoding="utf-8")
         if mode == "w":
@@ -103,12 +113,14 @@ class BuildJournal:
         return j
 
     @staticmethod
-    def load(index_root: Path | str) -> dict[str, JournalEntry]:
+    def load(
+        index_root: Path | str, name: str = JOURNAL_NAME
+    ) -> dict[str, JournalEntry]:
         """Parse completion records from an existing journal (empty
         dict when absent). Later records for the same path win;
         malformed lines — e.g. truncated by the crash being resumed
         from — are skipped."""
-        path = Path(index_root) / JOURNAL_NAME
+        path = Path(index_root) / name
         completed: dict[str, JournalEntry] = {}
         try:
             text = path.read_text(encoding="utf-8")
@@ -171,7 +183,7 @@ class BuildJournal:
         entry = self.completed.get(source_path)
         if entry is None:
             return False
-        return dbmod.file_stamp(db_path) == entry.stamp
+        return dbmod.stamp_matches(db_path, entry.stamp)
 
     # ------------------------------------------------------------------
     # Shutdown

@@ -70,7 +70,7 @@ def graft(
     at = at or src_subtree
     at = "/" + "/".join(p for p in at.split("/") if p)
     src_dir = src.index_dir(src_subtree)
-    if not (src_dir / schema.DB_NAME).exists():
+    if not src.store(src_subtree).db_path.exists():
         raise CompositionError(f"source has no index at {src_subtree!r}")
     dst_dir = dst.index_dir(at)
     if dst_dir.exists() and any(dst_dir.iterdir()):
@@ -101,12 +101,10 @@ def ensure_dir_db(index: GUFIIndex, source_path: str) -> None:
     structural directory that exists on disk without one."""
     import zlib
 
-    idx_dir = index.index_dir(source_path)
-    db_path = idx_dir / schema.DB_NAME
-    if db_path.exists():
+    store = index.store(source_path)
+    if store.db_path.exists():
         return
-    idx_dir.mkdir(parents=True, exist_ok=True)
-    conn = dbmod.create_db(db_path)
+    conn = store.create_primary()
     try:
         name = source_path.rsplit("/", 1)[-1] or "/"
         depth = 0 if source_path == "/" else source_path.count("/")

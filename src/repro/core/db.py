@@ -1,212 +1,54 @@
-"""SQLite connection helpers for the index.
+"""Compatibility shim: SQLite connection policy moved to
+:mod:`repro.store.connect` and the stamp/size helpers to
+:mod:`repro.store.layout` when the store layer was extracted. Import
+from ``repro.store`` in new code; this module keeps the historic
+``repro.core.db`` surface working.
 
-Centralises the paper's database-access policies:
-
-* user-facing tools open databases **read-only** (§III-A5) via SQLite
-  URI ``mode=ro`` — schema modification is an administrator privilege;
-* every database open is reported to an optional
-  :class:`~repro.sim.blktrace.IOTracer` with the bytes the query will
-  pull from it (Fig 7's accounting);
-* connections run with WAL off and synchronous=OFF during bulk builds
-  (the index is rebuilt from scratch on corruption, like the paper's
-  periodic re-pull, so durability is not bought with fsyncs).
-"""
+``db_file_bytes`` is the old name of
+:func:`repro.store.layout.artifact_bytes` — missing files have always
+counted as zero here, and :func:`repro.store.connect.table_bytes` now
+follows the same convention."""
 
 from __future__ import annotations
 
-import os
-import sqlite3
-import tempfile
-import threading
-from pathlib import Path
+from repro.store.connect import (
+    EMPTY_DB_BYTES,
+    _template,
+    attach_ro,
+    create_db,
+    create_side_db,
+    detach,
+    is_readonly_error,
+    open_ro,
+    open_rw,
+    table_bytes,
+)
+from repro.store.layout import (
+    StampBracket,
+    artifact_bytes,
+    dir_stamp,
+    file_stamp,
+    stamp_matches,
+)
 
-from repro.sim.blktrace import IOTracer
+#: historic name for :func:`repro.store.layout.artifact_bytes`
+db_file_bytes = artifact_bytes
 
-from . import schema
-
-#: bytes of fixed overhead in an empty SQLite database file — the
-#: paper's "even an empty SQLite database includes 12KB of data that
-#: must be read" (three 4 KiB pages with our schema's page size).
-EMPTY_DB_BYTES = 12 * 1024
-
-
-# ----------------------------------------------------------------------
-# Template databases. Creating a per-directory database by running the
-# full DDL costs milliseconds per directory; GUFI's builders instead
-# copy a pre-built template file into place (one file copy) and only
-# then insert rows. We do the same, with one template for the primary
-# schema and one for xattr side databases, built lazily per process.
-# ----------------------------------------------------------------------
-
-_template_lock = threading.Lock()
-_templates: dict[str, bytes] = {}
-
-
-def _template(kind: str) -> bytes:
-    """The raw bytes of an empty schema-initialised database file,
-    built once per process. Materialising a new directory database is
-    then a single open+write+close."""
-    with _template_lock:
-        blob = _templates.get(kind)
-        if blob is None:
-            fd, path = tempfile.mkstemp(prefix=f"gufi_template_{kind}_", suffix=".db")
-            os.close(fd)
-            os.unlink(path)  # sqlite must create it fresh
-            conn = sqlite3.connect(path, isolation_level=None)
-            try:
-                conn.execute("PRAGMA page_size = 1024")
-                conn.execute("PRAGMA journal_mode = MEMORY")
-                conn.execute("PRAGMA synchronous = OFF")
-                if kind == "full":
-                    conn.executescript("".join(schema.ALL_DDL))
-                else:
-                    conn.execute(schema.CREATE_XATTRS)
-            finally:
-                conn.close()
-            with open(path, "rb") as fh:
-                blob = fh.read()
-            os.unlink(path)
-            _templates[kind] = blob
-        return blob
-
-
-def _connect_rw(path: str) -> sqlite3.Connection:
-    conn = sqlite3.connect(path, isolation_level=None)
-    conn.execute("PRAGMA journal_mode = MEMORY")
-    conn.execute("PRAGMA synchronous = OFF")
-    return conn
-
-
-def create_db(path: Path | str, fresh: bool = False) -> sqlite3.Connection:
-    """Create an index database (template copy) and open it.
-
-    ``fresh=True`` skips the existence probe when the caller knows the
-    file cannot exist yet (bulk builds), saving a stat per directory.
-
-    Connections run in autocommit (``isolation_level=None``): callers
-    wrap bulk work in explicit BEGIN/COMMIT, and ATTACH/DETACH (which
-    SQLite forbids inside transactions) always work.
-    """
-    p = str(path)
-    if fresh or not os.path.exists(p):
-        with open(p, "wb") as fh:
-            fh.write(_template("full"))
-    return _connect_rw(p)
-
-
-def create_side_db(path: Path | str, fresh: bool = False) -> sqlite3.Connection:
-    """Create a per-user/per-group xattr side database (only the
-    ``xattrs`` table lives in side databases).
-
-    ``fresh=True`` overwrites whatever is at ``path`` — the staged
-    (``.partial``) writes of the crash-safe build path must not append
-    to a leftover from an interrupted earlier attempt."""
-    p = str(path)
-    if fresh or not os.path.exists(p):
-        with open(p, "wb") as fh:
-            fh.write(_template("side"))
-    return _connect_rw(p)
-
-
-def open_ro(
-    path: Path | str, tracer: IOTracer | None = None
-) -> sqlite3.Connection:
-    """Open an index database read-only (the only mode user query
-    tools are allowed — §III-A5), recording the read volume."""
-    p = str(path)
-    if tracer is not None:
-        tracer.record(p, db_file_bytes(p))
-    uri = f"file:{p}?mode=ro&immutable=1"
-    return sqlite3.connect(uri, uri=True, isolation_level=None)
-
-
-def open_rw(path: Path | str) -> sqlite3.Connection:
-    """Administrator open: schema changes and rollups allowed."""
-    conn = sqlite3.connect(str(path), isolation_level=None)
-    conn.execute("PRAGMA journal_mode = MEMORY")
-    conn.execute("PRAGMA synchronous = OFF")
-    return conn
-
-
-def attach_ro(
-    conn: sqlite3.Connection,
-    path: Path | str,
-    alias: str,
-    tracer: IOTracer | None = None,
-) -> None:
-    """ATTACH another index database read-only under ``alias``."""
-    p = str(path)
-    if tracer is not None:
-        tracer.record(p, db_file_bytes(p))
-    conn.execute(f"ATTACH DATABASE ? AS {alias}", (f"file:{p}?mode=ro&immutable=1",))
-
-
-def detach(conn: sqlite3.Connection, alias: str) -> None:
-    conn.execute(f"DETACH DATABASE {alias}")
-
-
-def table_bytes(
-    conn: sqlite3.Connection, alias: str, tables: set[str]
-) -> int:
-    """Bytes occupied by ``tables`` in the ``alias`` schema, via the
-    DBSTAT virtual table — the pages a table-restricted query actually
-    pulls (the paper: 'many queries do not need to access more than
-    the pre-computed summary tables'). Falls back to the whole file
-    when DBSTAT is unavailable."""
-    try:
-        placeholders = ",".join("?" * len(tables))
-        (n,) = conn.execute(
-            f"SELECT COALESCE(SUM(pgsize), 0) FROM {alias}.dbstat "
-            f"WHERE name IN ({placeholders})",
-            tuple(tables),
-        ).fetchone()
-        # one page of schema/metadata is always read
-        return int(n) + 4096
-    except sqlite3.Error:
-        (path,) = [
-            row[2]
-            for row in conn.execute("PRAGMA database_list")
-            if row[1] == alias
-        ] or [""]
-        return db_file_bytes(path)
-
-
-def file_stamp(path: Path | str) -> tuple[int, int, int] | None:
-    """Cache-validation stamp for a database file: (inode, mtime_ns,
-    size). The rebuild path unlinks and recreates ``db.db``, so the
-    inode alone changes even on file systems with coarse timestamps;
-    in-place writers (rollup, tsummary) bump mtime_ns. ``None`` when
-    the file is missing — a missing stamp never validates a cache
-    entry."""
-    try:
-        st = os.stat(path)
-    except OSError:
-        return None
-    return (st.st_ino, st.st_mtime_ns, st.st_size)
-
-
-def dir_stamp(path: Path | str) -> tuple[int, int] | None:
-    """Cache-validation stamp for a directory's child listing:
-    (inode, mtime_ns). Creating or removing a sub-directory updates
-    the parent directory's mtime."""
-    try:
-        st = os.stat(path)
-    except OSError:
-        return None
-    return (st.st_ino, st.st_mtime_ns)
-
-
-def db_file_bytes(path: Path | str) -> int:
-    """Size of a database file on disk (what a full-scan query reads).
-
-    Missing files count as zero so accounting never raises mid-query.
-    """
-    try:
-        return os.stat(path).st_size
-    except OSError:
-        return 0
-
-
-def is_readonly_error(exc: sqlite3.Error) -> bool:
-    """Did this operation fail because the connection is read-only?"""
-    return "readonly" in str(exc).lower() or "attempt to write" in str(exc).lower()
+__all__ = [
+    "EMPTY_DB_BYTES",
+    "StampBracket",
+    "_template",
+    "artifact_bytes",
+    "attach_ro",
+    "create_db",
+    "create_side_db",
+    "db_file_bytes",
+    "detach",
+    "dir_stamp",
+    "file_stamp",
+    "is_readonly_error",
+    "open_ro",
+    "open_rw",
+    "stamp_matches",
+    "table_bytes",
+]

@@ -45,12 +45,12 @@ from repro.fs.permissions import (
 from repro.scan.walker import FatalWalkError, ParallelTreeWalker
 from repro.sim.blktrace import IOTracer
 
-from .. import db as dbmod
-from .. import schema
+from repro.store.attach import AttachSession
+from repro.store.layout import StampBracket
+
 from ..index import GUFIIndex
 from ..plan import QueryPlan
 from ..session import ThreadStatePool, _ThreadState
-from ..xattrs import build_xattr_views, drop_xattr_views
 from .resultcache import CacheEntry, CaptureSink, ResultCache, make_key
 from .sinks import MemorySink, ResultSink, ThreadFileSink
 from .stages import MergeRunner, StageRunner, run_sql
@@ -520,20 +520,18 @@ class QueryEngine:
                     attaches_elided=1,
                 )
 
-        index_dir = self.index.index_dir(path)
+        store = self.index.store(path)
         st = self.pool.acquire(spec.I, sink.thread_output_path(0))
         output_files: list[str] = []
         try:
             st.ctx.current_path = path
             st.ctx.current_depth = path_depth(path)
+            session = AttachSession(st.conn, store, "gufi", self.tracer)
             try:
-                dbmod.attach_ro(
-                    st.conn, index_dir / schema.DB_NAME, "gufi", self.tracer
-                )
+                session.attach_main()
             except sqlite3.DatabaseError:
                 return errored()
             rows: list[tuple] = []
-            aliases: list[str] = []
             try:
                 t_pruned = False
                 if spec.T:
@@ -546,20 +544,16 @@ class QueryEngine:
                             t_pruned = True
                 if not t_pruned:
                     if spec.xattrs:
-                        aliases = build_xattr_views(
-                            st.conn, index_dir, self.creds, "gufi", self.tracer
-                        )
+                        session.xattr_views(self.creds)
                     try:
                         if spec.S:
                             rows.extend(run_sql(st, spec.S))
                         if spec.E and run_e:
                             rows.extend(run_sql(st, spec.E))
                     finally:
-                        if spec.xattrs:
-                            drop_xattr_views(st.conn, aliases)
+                        session.drop_xattr_views()
             finally:
-                st.conn.commit()
-                dbmod.detach(st.conn, "gufi")
+                session.close()
             if rows:
                 sink.emit(st, rows)
             summary = sink.finish([st])
@@ -669,7 +663,7 @@ class QueryEngine:
             st.ctx.current_depth = depth
             rel_depth = depth - start_depth
             index_dir = index.index_dir(source_path)
-            db_path = index_dir / schema.DB_NAME
+            db_path = index.store(source_path).db_path
             # Descent-time 'stat': the validated cache answers warm
             # queries with a dictionary lookup; denied directories are
             # then skipped without ever attaching their database.
@@ -698,8 +692,8 @@ class QueryEngine:
                     # allowed, the per-directory queries — then the
                     # record is published to the cache, stamp-checked
                     # on both sides of the read.
-                    stamp = dbmod.file_stamp(db_path)
-                    if stamp is None:
+                    bracket = StampBracket(db_path)
+                    if bracket.missing:
                         return []
                     try:
                         stage.attach(st, db_path)
@@ -718,11 +712,13 @@ class QueryEngine:
                         return []
                     except Exception:
                         return []
-                    if dbmod.file_stamp(db_path) == stamp:
+                    if bracket.unchanged():
                         # Publish only when the file is unchanged
                         # across the read — a racing rewrite must
                         # never pin its predecessor's DirMeta.
-                        index.cache.put_meta(source_path, stamp, meta)
+                        index.cache.put_meta(
+                            source_path, bracket.stamp, meta
+                        )
                     if not trav.permitted(meta):
                         st.denied += 1
                         return []

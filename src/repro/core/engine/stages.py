@@ -22,12 +22,13 @@ from pathlib import Path
 from typing import Any
 
 from repro.sim.blktrace import IOTracer
+from repro.store.attach import AttachSession
+from repro.store.layout import DirStore
 
 from .. import db as dbmod
 from ..index import DirMeta, GUFIIndex
 from ..session import ThreadStatePool, _ThreadState
 from ..sqlfuncs import QueryContext, register
-from ..xattrs import build_xattr_views, drop_xattr_views
 from .types import QuerySpec
 
 
@@ -142,13 +143,18 @@ class StageRunner:
         rows: list[tuple],
     ) -> None:
         """Run ``S`` and/or ``E`` (with the per-user xattr views built
-        around ``E`` when the spec asks for them)."""
+        around ``E`` when the spec asks for them). The views go through
+        an :class:`~repro.store.attach.AttachSession` in adopt mode —
+        the main attach belongs to the walk unit — so the "only
+        readable shards attach" gate is the store layer's, not ours."""
         spec = self.spec
-        aliases: list[str] = []
+        session: AttachSession | None = None
         if spec.xattrs and run_e:
-            aliases = build_xattr_views(
-                st.conn, index_dir, creds, "gufi", self.tracer
+            session = AttachSession(
+                st.conn, DirStore(index_dir), "gufi", self.tracer
             )
+            session.adopt_main()
+            session.xattr_views(creds)
         try:
             if run_s:
                 assert spec.S is not None
@@ -157,8 +163,8 @@ class StageRunner:
                 assert spec.E is not None
                 self._timed_stage(st, "E", spec.E, rows)
         finally:
-            if aliases:
-                drop_xattr_views(st.conn, aliases)
+            if session is not None:
+                session.drop_xattr_views()
 
     def _timed_stage(
         self, st: _ThreadState, stage: str, sql: str, rows: list[tuple]

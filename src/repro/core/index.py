@@ -27,6 +27,8 @@ from collections.abc import Iterator
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.store.layout import DirStore, StampBracket, is_side_artifact
+
 from . import db as dbmod
 from . import schema
 
@@ -284,7 +286,11 @@ class GUFIIndex:
         return "/" + str(rel) if str(rel) != "." else "/"
 
     def db_path(self, source_path: str) -> Path:
-        return self.index_dir(source_path) / schema.DB_NAME
+        return self.store(source_path).db_path
+
+    def store(self, source_path: str) -> DirStore:
+        """The store-layer handle for one directory's artifact set."""
+        return DirStore(self.index_dir(source_path))
 
     # ------------------------------------------------------------------
     # Enumeration / statistics
@@ -308,7 +314,7 @@ class GUFIIndex:
         for dirpath, _, filenames in os.walk(base):
             for fn in filenames:
                 if fn == schema.DB_NAME or (
-                    include_side_dbs and fn.startswith("xattrs.db")
+                    include_side_dbs and is_side_artifact(fn)
                 ):
                     total += dbmod.db_file_bytes(os.path.join(dirpath, fn))
         return total
@@ -412,7 +418,7 @@ class GUFIIndex:
         meta = self.cache.get_meta(source_path, db_path)
         if meta is not None:
             return meta
-        stamp = dbmod.file_stamp(db_path)
+        bracket = StampBracket(db_path)
         conn = dbmod.open_ro(db_path)
         try:
             meta = self.read_dir_meta(conn)
@@ -420,8 +426,8 @@ class GUFIIndex:
             conn.close()
         # publish only when the file is unchanged across the read —
         # a racing rewrite must never pin its predecessor's DirMeta
-        if stamp is not None and dbmod.file_stamp(db_path) == stamp:
-            self.cache.put_meta(source_path, stamp, meta)
+        if bracket.unchanged():
+            self.cache.put_meta(source_path, bracket.stamp, meta)
         return meta
 
     def cached_dir_meta(self, source_path: str) -> DirMeta | None:
@@ -436,8 +442,8 @@ class GUFIIndex:
         meta = self.cache.get_meta(source_path, db_path)
         if meta is not None:
             return meta
-        stamp = dbmod.file_stamp(db_path)
-        if stamp is None:
+        bracket = StampBracket(db_path)
+        if bracket.missing:
             return None
         try:
             conn = dbmod.open_ro(db_path)
@@ -449,8 +455,8 @@ class GUFIIndex:
             return None
         finally:
             conn.close()
-        if dbmod.file_stamp(db_path) == stamp:
-            self.cache.put_meta(source_path, stamp, meta)
+        if bracket.unchanged():
+            self.cache.put_meta(source_path, bracket.stamp, meta)
         return meta
 
     def invalidate_cache(self, source_path: str | None = None) -> None:

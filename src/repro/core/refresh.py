@@ -317,7 +317,7 @@ def _index_entries(index: GUFIIndex) -> dict[str, int]:
     for d in index.iter_index_dirs():
         sp = index.source_path(d)
         prefix = "" if sp == "/" else sp
-        conn = dbmod.open_ro(d / "db.db")
+        conn = index.store(sp).open_ro()
         try:
             for name, size in conn.execute(
                 "SELECT name, size FROM entries"

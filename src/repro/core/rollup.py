@@ -39,6 +39,8 @@ from pathlib import Path
 
 from repro import obs
 from repro.scan.walker import ParallelTreeWalker
+from repro.store.attach import attached
+from repro.store.layout import DirStore, is_side_artifact
 
 from . import db as dbmod
 from . import schema
@@ -173,9 +175,8 @@ def _merge_child(
     child_name: str,
 ) -> None:
     """Steps 2–4 for one child: pentries, summary, xattr stores."""
-    child_db = parent_dir / child_name / schema.DB_NAME
-    conn.execute("ATTACH DATABASE ? AS child", (str(child_db),))
-    try:
+    child_db = DirStore(parent_dir / child_name).db_path
+    with attached(conn, child_db, "child", ro=False):
         conn.execute("INSERT INTO pentries SELECT * FROM child.pentries")
         conn.execute(
             f"INSERT INTO summary ({_SUMMARY_COPY_COLS}) "
@@ -189,8 +190,6 @@ def _merge_child(
         side_rows = conn.execute(
             "SELECT filename, uid, gid, mode FROM child.xattrs_avail"
         ).fetchall()
-    finally:
-        conn.execute("DETACH DATABASE child")
     # Per-user / per-group side databases merge into same-protection
     # side databases of the parent (created on demand, tracked with
     # isroot=0 so unrollup can remove them).
@@ -202,13 +201,12 @@ def _merge_child(
         existed = dst.exists()
         dst_conn = dbmod.create_side_db(dst)
         try:
-            dst_conn.execute("ATTACH DATABASE ? AS src", (str(src),))
-            dst_conn.execute(
-                "INSERT INTO xattrs (exinode, exattrs, isroot) "
-                "SELECT exinode, exattrs, 0 FROM src.xattrs"
-            )
-            dst_conn.commit()
-            dst_conn.execute("DETACH DATABASE src")
+            with attached(dst_conn, src, "src", ro=False):
+                dst_conn.execute(
+                    "INSERT INTO xattrs (exinode, exattrs, isroot) "
+                    "SELECT exinode, exattrs, 0 FROM src.xattrs"
+                )
+                dst_conn.commit()
         finally:
             dst_conn.close()
         if not existed:
@@ -223,7 +221,7 @@ def rollup_dir(index: GUFIIndex, source_path: str, child_names: list[str]) -> in
     """Perform the merge for one directory (conditions already
     verified by the caller). Returns the merged pentries row count."""
     parent_dir = index.index_dir(source_path)
-    conn = dbmod.open_rw(parent_dir / schema.DB_NAME)
+    conn = index.store(source_path).open_rw()
     try:
         conn.execute("DROP VIEW IF EXISTS pentries")
         conn.execute(schema.CREATE_PENTRIES_TABLE)
@@ -253,7 +251,7 @@ def unrollup_dir(index: GUFIIndex, source_path: str) -> None:
     """Undo one directory's rollup — independent of every other
     directory's rollup state (§III-C3's lightweight-undo property)."""
     parent_dir = index.index_dir(source_path)
-    conn = dbmod.open_rw(parent_dir / schema.DB_NAME)
+    conn = index.store(source_path).open_rw()
     try:
         meta = index.read_dir_meta(conn)
         if not meta.rolledup:
@@ -437,7 +435,7 @@ def visible_db_bytes(index: GUFIIndex, start: str = "/") -> int:
         idx_dir = index.index_dir(sp)
         try:
             for name in os.listdir(idx_dir):
-                if name.startswith("xattrs.db"):
+                if is_side_artifact(name):
                     total += dbmod.db_file_bytes(idx_dir / name)
         except OSError:
             pass

@@ -1,296 +1,65 @@
-"""GUFI per-directory database schema (paper §III-B, Fig 5).
-
-Every directory in the index holds one SQLite database (``db.db``)
-with three record-holding tables plus views:
-
-* ``entries`` — one row per non-directory entry (file/symlink) with
-  the standard inode attributes; xattr *names* are packed into a
-  column here (names are metadata-protected, values are not).
-* ``summary`` — the directory's own attributes plus aggregates over
-  its entries (min/max/total sizes, counts, time ranges). Can hold
-  *overall* (rectype 0), *per-user* (rectype 1), and *per-group*
-  (rectype 2) records. After a rollup, sub-directory summary rows are
-  copied in with ``isroot=0`` and the relative path in ``name``.
-* ``tsummary`` — whole-subtree aggregates, built on demand by the
-  ``bfti`` tool (:mod:`repro.core.tsummary`); also rectype-typed.
-* ``pentries`` — a view of ``entries`` augmented with the parent
-  inode. Rollup materialises it into a real table so sub-directory
-  rows can be merged in without touching ``entries``.
-* ``xattrs`` — xattr values for entries whose protection matches the
-  directory database itself; ``xattrs_avail`` tracks the per-user /
-  per-group side databases holding the rest (§III-A2, §III-B1).
-"""
+"""Compatibility shim: the per-directory schema moved to
+:mod:`repro.store.schema` (and the layout constants to
+:mod:`repro.store.layout`) when the store layer was extracted. Import
+from ``repro.store`` in new code; this module keeps the historic
+``repro.core.schema`` surface working."""
 
 from __future__ import annotations
 
-DB_NAME = "db.db"
-
-ENTRIES_COLUMNS = (
-    "name",
-    "type",
-    "inode",
-    "mode",
-    "nlink",
-    "uid",
-    "gid",
-    "size",
-    "blksize",
-    "blocks",
-    "atime",
-    "mtime",
-    "ctime",
-    "linkname",
-    "xattr_names",
-)
-
-CREATE_ENTRIES = """
-CREATE TABLE IF NOT EXISTS entries (
-    name        TEXT,
-    type        TEXT,
-    inode       INTEGER,
-    mode        INTEGER,
-    nlink       INTEGER,
-    uid         INTEGER,
-    gid         INTEGER,
-    size        INTEGER,
-    blksize     INTEGER,
-    blocks      INTEGER,
-    atime       INTEGER,
-    mtime       INTEGER,
-    ctime       INTEGER,
-    linkname    TEXT,
-    xattr_names TEXT
-);
-"""
-
-SUMMARY_COLUMNS = (
-    "name",
-    "rectype",
-    "isroot",
-    "inode",
-    "mode",
-    "nlink",
-    "uid",
-    "gid",
-    "size",
-    "blksize",
-    "blocks",
-    "atime",
-    "mtime",
-    "ctime",
-    "totfiles",
-    "totlinks",
-    "totsubdirs",
-    "minuid",
-    "maxuid",
-    "mingid",
-    "maxgid",
-    "minsize",
-    "maxsize",
-    "totsize",
-    "minmtime",
-    "maxmtime",
-    "minatime",
-    "maxatime",
-    "totxattr",
-    "rolledup",
-    "rollup_entries",
-    "depth",
-)
-
-CREATE_SUMMARY = """
-CREATE TABLE IF NOT EXISTS summary (
-    name           TEXT,
-    rectype        INTEGER,  -- 0 overall, 1 per-user, 2 per-group
-    isroot         INTEGER,  -- 1 original record, 0 copied in by rollup
-    inode          INTEGER,
-    mode           INTEGER,
-    nlink          INTEGER,
-    uid            INTEGER,
-    gid            INTEGER,
-    size           INTEGER,
-    blksize        INTEGER,
-    blocks         INTEGER,
-    atime          INTEGER,
-    mtime          INTEGER,
-    ctime          INTEGER,
-    totfiles       INTEGER,
-    totlinks       INTEGER,
-    totsubdirs     INTEGER,
-    minuid         INTEGER,
-    maxuid         INTEGER,
-    mingid         INTEGER,
-    maxgid         INTEGER,
-    minsize        INTEGER,
-    maxsize        INTEGER,
-    totsize        INTEGER,
-    minmtime       INTEGER,
-    maxmtime       INTEGER,
-    minatime       INTEGER,
-    maxatime       INTEGER,
-    totxattr       INTEGER,
-    rolledup       INTEGER DEFAULT 0,
-    rollup_entries INTEGER DEFAULT 0,
-    depth          INTEGER DEFAULT 0
-);
-"""
-
-TSUMMARY_COLUMNS = (
-    "rectype",
-    "uid",
-    "gid",
-    "totfiles",
-    "totlinks",
-    "totsubdirs",
-    "totsize",
-    "minsize",
-    "maxsize",
-    "minmtime",
-    "maxmtime",
-    "maxdepth",
-    "totxattr",
-    "totusers",
-    "totgroups",
-)
-
-CREATE_TSUMMARY = """
-CREATE TABLE IF NOT EXISTS tsummary (
-    rectype    INTEGER,  -- 0 overall, 1 per-user, 2 per-group
-    uid        INTEGER,
-    gid        INTEGER,
-    totfiles   INTEGER,
-    totlinks   INTEGER,
-    totsubdirs INTEGER,
-    totsize    INTEGER,
-    minsize    INTEGER,
-    maxsize    INTEGER,
-    minmtime   INTEGER,
-    maxmtime   INTEGER,
-    maxdepth   INTEGER,
-    totxattr   INTEGER,
-    totusers   INTEGER,
-    totgroups  INTEGER
-);
-"""
-
-# The pentries view joins every entry with the (single) original
-# overall summary record to expose the parent inode, exactly as the
-# paper's Fig 5 describes. Rollup drops the view and materialises a
-# table of the same shape.
-CREATE_PENTRIES_VIEW = """
-CREATE VIEW IF NOT EXISTS pentries AS
-    SELECT entries.*, summary.inode AS pinode
-    FROM entries, summary
-    WHERE summary.isroot = 1 AND summary.rectype = 0;
-"""
-
-PENTRIES_COLUMNS = ENTRIES_COLUMNS + ("pinode",)
-
-CREATE_PENTRIES_TABLE = """
-CREATE TABLE IF NOT EXISTS pentries (
-    name        TEXT,
-    type        TEXT,
-    inode       INTEGER,
-    mode        INTEGER,
-    nlink       INTEGER,
-    uid         INTEGER,
-    gid         INTEGER,
-    size        INTEGER,
-    blksize     INTEGER,
-    blocks      INTEGER,
-    atime       INTEGER,
-    mtime       INTEGER,
-    ctime       INTEGER,
-    linkname    TEXT,
-    xattr_names TEXT,
-    pinode      INTEGER
-);
-"""
-
-# Xattr value store (§III-B1): two payload columns — the entry's inode
-# and a packed name=value list — plus the rollup-provenance marker.
-# The same DDL is used in the main db and in every per-user/per-group
-# side database.
-CREATE_XATTRS = """
-CREATE TABLE IF NOT EXISTS xattrs (
-    exinode INTEGER,
-    exattrs TEXT,
-    isroot  INTEGER DEFAULT 1
-);
-"""
-
-# Tracking table (§III-B1 'an additional table ... keeps track of the
-# per-user and per-group XAttr database files that were generated'):
-# avoids globbing the directory for side databases at query time.
-CREATE_XATTRS_AVAIL = """
-CREATE TABLE IF NOT EXISTS xattrs_avail (
-    filename TEXT,    -- side database file name within this directory
-    uid      INTEGER, -- owner uid of the side database file
-    gid      INTEGER, -- owner gid
-    mode     INTEGER, -- file mode bits gating who may read it
-    isroot   INTEGER DEFAULT 1  -- 0 if the side db was created by rollup
-);
-"""
-
-# vrpentries joins each (p)entries row with its parent directory's
-# summary record so full paths survive rollup: ``dname`` is the parent
-# directory's path relative to this database's directory (its plain
-# basename for non-rolled rows, a multi-segment relative path for
-# rolled-in rows) and ``d_isroot`` tells the rpath() SQL function
-# whether a prefix is needed. This is the moral equivalent of GUFI's
-# vrpentries/rpath machinery.
-CREATE_VRPENTRIES_VIEW = """
-CREATE VIEW IF NOT EXISTS vrpentries AS
-    SELECT pentries.*, summary.name AS dname, summary.isroot AS d_isroot
-    FROM pentries JOIN summary
-    ON pentries.pinode = summary.inode AND summary.rectype = 0;
-"""
-
-ALL_DDL = (
+from repro.store.layout import DB_NAME
+from repro.store.schema import (
+    ALL_DDL,
     CREATE_ENTRIES,
+    CREATE_PENTRIES_TABLE,
+    CREATE_PENTRIES_VIEW,
     CREATE_SUMMARY,
     CREATE_TSUMMARY,
-    CREATE_PENTRIES_VIEW,
     CREATE_VRPENTRIES_VIEW,
     CREATE_XATTRS,
     CREATE_XATTRS_AVAIL,
+    ENTRIES_COLUMNS,
+    MIGRATIONS,
+    PENTRIES_COLUMNS,
+    RECTYPE_GROUP,
+    RECTYPE_OVERALL,
+    RECTYPE_USER,
+    SCHEMA_VERSION,
+    SUMMARY_COLUMNS,
+    TSUMMARY_COLUMNS,
+    SchemaVersionError,
+    db_schema_version,
+    migrate_conn,
+    pack_xattr_names,
+    pack_xattrs,
+    stamp_schema_version,
+    unpack_xattrs,
 )
 
-# rectype values, named for readability at call sites
-RECTYPE_OVERALL = 0
-RECTYPE_USER = 1
-RECTYPE_GROUP = 2
-
-
-def pack_xattrs(xattrs: dict[str, bytes]) -> str:
-    """Pack name→value pairs into the single-column list format the
-    paper's queries match with LIKE (e.g. ``exattrs LIKE '%needle%'``).
-    Values that decode as UTF-8 are stored readably; binary values are
-    hex-encoded."""
-    parts = []
-    for name in sorted(xattrs):
-        value = xattrs[name]
-        try:
-            text = value.decode("utf-8")
-            if "\x1f" in text or "=" in text:
-                raise UnicodeDecodeError("utf-8", value, 0, 1, "reserved char")
-        except UnicodeDecodeError:
-            text = "0x" + value.hex()
-        parts.append(f"{name}={text}")
-    return "\x1f".join(parts)
-
-
-def unpack_xattrs(packed: str) -> dict[str, str]:
-    """Inverse of :func:`pack_xattrs` (values stay textual)."""
-    out: dict[str, str] = {}
-    if not packed:
-        return out
-    for pair in packed.split("\x1f"):
-        name, _, value = pair.partition("=")
-        out[name] = value
-    return out
-
-
-def pack_xattr_names(xattrs: dict[str, bytes]) -> str:
-    """Xattr *names* column for ``entries`` (names are metadata)."""
-    return "\x1f".join(sorted(xattrs))
+__all__ = [
+    "ALL_DDL",
+    "CREATE_ENTRIES",
+    "CREATE_PENTRIES_TABLE",
+    "CREATE_PENTRIES_VIEW",
+    "CREATE_SUMMARY",
+    "CREATE_TSUMMARY",
+    "CREATE_VRPENTRIES_VIEW",
+    "CREATE_XATTRS",
+    "CREATE_XATTRS_AVAIL",
+    "DB_NAME",
+    "ENTRIES_COLUMNS",
+    "MIGRATIONS",
+    "PENTRIES_COLUMNS",
+    "RECTYPE_GROUP",
+    "RECTYPE_OVERALL",
+    "RECTYPE_USER",
+    "SCHEMA_VERSION",
+    "SUMMARY_COLUMNS",
+    "SchemaVersionError",
+    "TSUMMARY_COLUMNS",
+    "db_schema_version",
+    "migrate_conn",
+    "pack_xattr_names",
+    "pack_xattrs",
+    "stamp_schema_version",
+    "unpack_xattrs",
+]

@@ -133,7 +133,7 @@ def build_tsummary(
         if not db_path.exists():
             continue
         dirs_scanned += 1
-        conn = dbmod.open_ro(db_path)
+        conn = index.store(sp).open_ro()
         try:
             meta = index.read_dir_meta(conn)
             # Every summary row (original + rolled-in) is one directory;
@@ -180,7 +180,7 @@ def build_tsummary(
         for gid in sorted(by_gid):
             rows.append(by_gid[gid].row(schema.RECTYPE_GROUP, 0, gid))
 
-    conn = dbmod.open_rw(index.db_path(start))
+    conn = index.store(start).open_rw()
     try:
         conn.execute("DELETE FROM tsummary")
         conn.executemany(_TS_INSERT, rows)
@@ -196,7 +196,7 @@ def build_tsummary(
 
 def drop_tsummary(index: GUFIIndex, start: str = "/") -> None:
     """Remove the tsummary rows at ``start`` (admin operation)."""
-    conn = dbmod.open_rw(index.db_path(start))
+    conn = index.store(start).open_rw()
     try:
         conn.execute("DELETE FROM tsummary")
         conn.commit()

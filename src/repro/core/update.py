@@ -136,12 +136,7 @@ def remove_dir_dbs(index: GUFIIndex, source_path: str) -> None:
     index_dir = index.index_dir(source_path)
     if not index_dir.exists():
         return
-    for name in os.listdir(index_dir):
-        if name == schema.DB_NAME or name.startswith("xattrs.db"):
-            try:
-                os.unlink(index_dir / name)
-            except OSError:
-                pass
+    index.store(source_path).remove_artifacts()
 
 
 def _prune_stale_index_dirs(

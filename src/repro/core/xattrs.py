@@ -30,12 +30,29 @@ import sqlite3
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.fs.permissions import Credentials, can_read_entry
+from repro.fs.permissions import Credentials
 from repro.scan.trace import TraceRecord
 from repro.sim.blktrace import IOTracer
 
+from repro.store.attach import AttachSession, accessible_side_dbs
+from repro.store.layout import DirStore, side_db_name
+
 from . import db as dbmod
 from .schema import pack_xattrs
+
+__all__ = [
+    "GID_NONE",
+    "MAIN",
+    "UID_NONE",
+    "XattrShards",
+    "accessible_side_dbs",
+    "build_xattr_views",
+    "drop_xattr_views",
+    "shard_xattrs",
+    "side_db_name",
+    "side_db_protection",
+    "write_xattr_shards",
+]
 
 #: the "none" uid/gid the paper assigns to side databases so that only
 #: the intended principal (plus root) can open them.
@@ -43,17 +60,6 @@ UID_NONE = 65534
 GID_NONE = 65534
 
 MAIN = "main"
-
-
-def side_db_name(kind: str, ident: int) -> str:
-    """File name for a side database within an index directory."""
-    if kind == "user":
-        return f"xattrs.db.u{ident}"
-    if kind == "group_r":
-        return f"xattrs.db.g{ident}.r"
-    if kind == "group_nr":
-        return f"xattrs.db.g{ident}.nr"
-    raise ValueError(f"unknown side db kind {kind!r}")
 
 
 def side_db_protection(kind: str, ident: int) -> tuple[int, int, int]:
@@ -178,22 +184,6 @@ def write_xattr_shards(
     return created
 
 
-def accessible_side_dbs(
-    conn_main: sqlite3.Connection, creds: Credentials
-) -> list[str]:
-    """Side databases these credentials may attach: the engine-side
-    equivalent of the kernel refusing ``open(2)`` on files the user
-    cannot read. Owner-uid match on per-user databases is what lets
-    users see their own currently-unreadable values."""
-    out = []
-    for filename, uid, gid, mode in conn_main.execute(
-        "SELECT filename, uid, gid, mode FROM xattrs_avail"
-    ):
-        if creds.is_root or can_read_entry(mode, uid, gid, creds) or creds.uid == uid:
-            out.append(filename)
-    return out
-
-
 def build_xattr_views(
     conn: sqlite3.Connection,
     index_dir: Path,
@@ -201,45 +191,14 @@ def build_xattr_views(
     main_alias: str = "gufi",
     tracer: IOTracer | None = None,
 ) -> list[str]:
-    """Create the per-query temporary xattr views (§III-B1).
-
-    Attaches every side database ``creds`` may read, then creates:
-
-    * ``vxattrs(exinode, exattrs)`` — union of the directory's xattrs
-      table with the accessible side databases;
-    * ``xpentries`` — ``pentries`` joined with ``vxattrs`` (the
-      convenience view the paper's Fig 9 queries use as ``myxatv``
-      joined with pentries).
-
-    Returns attached aliases (caller detaches after the per-directory
-    queries ran). Views are TEMP: different users get different views,
-    so none are persisted.
-    """
-    names = accessible_side_dbs(conn, creds)
-    aliases: list[str] = []
-    selects = [f"SELECT exinode, exattrs FROM {main_alias}.xattrs"]
-    for i, name in enumerate(names):
-        path = index_dir / name
-        if not path.exists():
-            continue  # tracking row newer than an interrupted build
-        alias = f"xa{i}"
-        dbmod.attach_ro(conn, path, alias, tracer)
-        aliases.append(alias)
-        selects.append(f"SELECT exinode, exattrs FROM {alias}.xattrs")
-    # UNION (not UNION ALL): an entry's values may legitimately live in
-    # several accessible stores at once (its owner's per-user database
-    # plus a per-group database); the paper builds "a view of all
-    # *unique* accessible XAttrs".
-    union = " UNION ".join(selects)
-    conn.execute("DROP VIEW IF EXISTS temp.vxattrs")
-    conn.execute(f"CREATE TEMP VIEW vxattrs AS {union}")
-    conn.execute("DROP VIEW IF EXISTS temp.xpentries")
-    conn.execute(
-        "CREATE TEMP VIEW xpentries AS "
-        f"SELECT p.*, x.exattrs FROM {main_alias}.vrpentries p "
-        "INNER JOIN vxattrs x ON p.inode = x.exinode"
-    )
-    return aliases
+    """Create the per-query temporary xattr views (§III-B1) through an
+    :class:`~repro.store.attach.AttachSession` — the single place the
+    "only readable shards attach" invariant is enforced. Compatibility
+    wrapper for callers that manage the main attach themselves;
+    returns the attached aliases for :func:`drop_xattr_views`."""
+    session = AttachSession(conn, DirStore(index_dir), main_alias, tracer)
+    session.adopt_main()
+    return session.xattr_views(creds)
 
 
 def drop_xattr_views(conn: sqlite3.Connection, aliases: list[str]) -> None:

@@ -1,0 +1,154 @@
+"""Optional FTS5 name-search sidecar — the registry's proof of
+extension.
+
+The ROADMAP's open FTS5 item needs a per-directory full-text index
+over entry names. This module registers it as an *optional artifact
+kind* (:data:`FTS_KIND`): the sidecar's file name, schema, staging,
+and attach gating all live here, and no other module — not the
+builders, not the sweeper, not the doctor — learns its filename. The
+build path stages it through the same ``.partial``-and-rename commit
+protocol as every other artifact, behind
+``BuildOptions.optional_artifacts=("names_fts",)``.
+
+Security: the sidecar stores only entry *names*, which are metadata
+protected by the directory's own permissions (exactly like the
+``entries`` table in the primary database), so the attach gate is the
+primary-database gate — a reader who may query ``db.db`` may query
+``names.fts``; nobody else reaches either.
+"""
+
+from __future__ import annotations
+
+import re
+import sqlite3
+from typing import TYPE_CHECKING, Any, Optional
+
+from .layout import ArtifactKind, DirStore, register_artifact_kind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.scan.trace import DirStanza
+
+#: registry key for the sidecar (what goes in
+#: ``BuildOptions.optional_artifacts``); the file name is private.
+FTS_KIND = "names_fts"
+
+_FTS_NAME = "names.fts"
+
+#: fault-injection site fired once per staged sidecar (key = source
+#: directory path), mirroring the ``"xattr_shards"`` site.
+FAULT_SITE = "fts_sidecar"
+
+
+def fts5_available() -> bool:
+    """Is the SQLite build linked with the FTS5 extension?"""
+    try:
+        conn = sqlite3.connect(":memory:")
+        try:
+            conn.execute("CREATE VIRTUAL TABLE t USING fts5(x)")
+        finally:
+            conn.close()
+        return True
+    except sqlite3.Error:
+        return False
+
+
+def _build_names_fts(
+    store: DirStore, stanza: "DirStanza", faults: Any = None
+) -> list[str]:
+    """Builder hook (see :class:`~repro.store.layout.ArtifactKind`):
+    stage the sidecar at its ``.partial`` path and return the final
+    name for the publish step to rename."""
+    if faults is not None:
+        faults.fire(FAULT_SITE, stanza.directory.path)
+    path = store.partial_path(_FTS_NAME)
+    conn = sqlite3.connect(str(path), isolation_level=None)
+    try:
+        conn.execute("PRAGMA journal_mode = MEMORY")
+        conn.execute("PRAGMA synchronous = OFF")
+        conn.execute(
+            "CREATE VIRTUAL TABLE names USING fts5(name, inode UNINDEXED)"
+        )
+        conn.execute("BEGIN")
+        conn.executemany(
+            "INSERT INTO names (name, inode) VALUES (?, ?)",
+            [(r.name, r.ino) for r in stanza.entries],
+        )
+        conn.execute("COMMIT")
+    finally:
+        conn.close()
+    return [_FTS_NAME]
+
+
+register_artifact_kind(
+    ArtifactKind(
+        key=FTS_KIND,
+        match=re.compile(re.escape(_FTS_NAME)),
+        name_for=lambda _ident: _FTS_NAME,
+        optional=True,
+        builder=_build_names_fts,
+    )
+)
+
+
+def has_sidecar(store: DirStore) -> bool:
+    """Was the sidecar built for this directory?"""
+    return store.artifact_path(_FTS_NAME).exists()
+
+
+def search_dir(
+    store: DirStore, query: str, limit: Optional[int] = None
+) -> list[tuple[str, int]]:
+    """FTS5 MATCH over one directory's sidecar: (name, inode) hits.
+    Empty when the sidecar was never built — absence means "not
+    indexed", never an error, so the flag can be enabled per-build.
+
+    The caller is responsible for the permission gate (same rule as
+    opening the primary database); :func:`search_names` applies it
+    tree-wide."""
+    path = store.artifact_path(_FTS_NAME)
+    if not path.exists():
+        return []
+    conn = sqlite3.connect(
+        f"file:{path}?mode=ro&immutable=1", uri=True, isolation_level=None
+    )
+    try:
+        sql = "SELECT name, inode FROM names WHERE names MATCH ? ORDER BY rank"
+        if limit is not None:
+            sql += f" LIMIT {int(limit)}"
+        return [(str(n), int(i)) for n, i in conn.execute(sql, (query,))]
+    finally:
+        conn.close()
+
+
+def search_names(index: Any, query: str, creds: Any) -> list[tuple[str, str]]:
+    """Tree-wide name search: (source directory, matching name) pairs,
+    permission-filtered with the engine's rules — descend only through
+    searchable directories, read names only from readable ones.
+
+    A deliberately minimal reader (the full faceted-search engine is
+    the ROADMAP follow-up): it proves the sidecar round-trips through
+    build → publish → permission-gated query without any module
+    outside ``repro.store`` knowing the sidecar's file name.
+    """
+    from repro.fs.permissions import can_read_dir, can_search_dir
+
+    out: list[tuple[str, str]] = []
+
+    def visit(source_path: str) -> None:
+        meta = index.cached_dir_meta(source_path)
+        if meta is None:
+            return  # missing db: denied-by-absence
+        if can_read_dir(meta.mode, meta.uid, meta.gid, creds):
+            store = DirStore(index.index_dir(source_path))
+            for name, _ino in search_dir(store, query):
+                out.append((source_path, name))
+        if can_search_dir(meta.mode, meta.uid, meta.gid, creds):
+            for child in index.subdir_names(source_path):
+                visit(
+                    source_path.rstrip("/") + "/" + child
+                    if source_path != "/"
+                    else "/" + child
+                )
+
+    visit("/")
+    return out

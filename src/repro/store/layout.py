@@ -1,0 +1,395 @@
+"""Per-directory layout: artifact names, staging, stamps.
+
+One directory of a GUFI index holds a small, closed set of *artifacts*
+(paper §III-A1/§III-B): the primary database, the permission-sharded
+xattr side databases, and any optional sidecars (e.g. the FTS5 name
+index). Their file names, the ``.partial``-stage → rename-publish
+commit protocol, and the stat-derived validity stamps are layout
+facts, and this module is the only place in the tree that knows them.
+
+Artifact kinds are registered in a process-wide registry so a new
+per-directory artifact can be added (name, staging, sweep, doctor
+reporting, removal) without any other module learning its filename —
+:mod:`repro.store.fts` is the proof.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sqlite3
+import threading
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.blktrace import IOTracer
+
+#: the primary per-directory database — its existence is the commit
+#: point the query engine keys on
+DB_NAME = "db.db"
+
+#: suffix for staged (not yet published) artifact files
+PARTIAL_SUFFIX = ".partial"
+
+#: common prefix of every xattr side database
+_XATTR_PREFIX = "xattrs.db"
+
+
+# ----------------------------------------------------------------------
+# Artifact-kind registry
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ArtifactKind:
+    """One kind of per-directory artifact.
+
+    ``match`` is a compiled regex over file names; ``name_for``
+    produces a concrete file name (``ident`` is the uid/gid for the
+    sharded kinds, ignored otherwise). ``optional`` kinds are built
+    only on request (``BuildOptions.optional_artifacts``) through
+    ``builder(store, stanza, faults)``, which stages its files under
+    :data:`PARTIAL_SUFFIX` and returns the *final* names so the
+    publish step renames them alongside the xattr shards.
+    """
+
+    key: str
+    match: re.Pattern[str]
+    name_for: Callable[[Optional[int]], str]
+    optional: bool = False
+    builder: Optional[Callable[["DirStore", Any, Any], list[str]]] = None
+
+
+_registry: dict[str, ArtifactKind] = {}
+_registry_lock = threading.Lock()
+
+
+def register_artifact_kind(kind: ArtifactKind) -> ArtifactKind:
+    """Add (or idempotently re-add) an artifact kind."""
+    with _registry_lock:
+        existing = _registry.get(kind.key)
+        if existing is not None:
+            return existing
+        _registry[kind.key] = kind
+        return kind
+
+
+def artifact_kind(key: str) -> ArtifactKind:
+    try:
+        return _registry[key]
+    except KeyError:
+        raise ValueError(f"unknown artifact kind {key!r}") from None
+
+
+def artifact_kinds() -> tuple[ArtifactKind, ...]:
+    return tuple(_registry.values())
+
+
+def classify_artifact(filename: str) -> str | None:
+    """The artifact kind a file name belongs to (None: not ours —
+    e.g. ``gufi_index.json`` or a user's stray file)."""
+    if filename.endswith(PARTIAL_SUFFIX):
+        filename = filename[: -len(PARTIAL_SUFFIX)]
+    for kind in _registry.values():
+        if kind.match.fullmatch(filename):
+            return kind.key
+    return None
+
+
+def is_side_artifact(filename: str) -> bool:
+    """Every index artifact other than the primary database (xattr
+    shards and optional sidecars)."""
+    kind = classify_artifact(filename)
+    return kind is not None and kind != "primary"
+
+
+def side_db_name(kind: str, ident: int) -> str:
+    """File name for an xattr side database within an index directory
+    (``kind`` is the placement-rule bucket: user / group_r /
+    group_nr)."""
+    if kind == "user":
+        return f"{_XATTR_PREFIX}.u{ident}"
+    if kind == "group_r":
+        return f"{_XATTR_PREFIX}.g{ident}.r"
+    if kind == "group_nr":
+        return f"{_XATTR_PREFIX}.g{ident}.nr"
+    raise ValueError(f"unknown side db kind {kind!r}")
+
+
+def _need_ident(_: Optional[int]) -> str:  # pragma: no cover - guard
+    raise ValueError("sharded artifact kinds need an ident")
+
+
+register_artifact_kind(
+    ArtifactKind(
+        key="primary",
+        match=re.compile(re.escape(DB_NAME)),
+        name_for=lambda _ident: DB_NAME,
+    )
+)
+register_artifact_kind(
+    ArtifactKind(
+        key="xattr_user",
+        match=re.compile(re.escape(_XATTR_PREFIX) + r"\.u\d+"),
+        name_for=lambda ident: side_db_name("user", ident)
+        if ident is not None
+        else _need_ident(ident),
+    )
+)
+register_artifact_kind(
+    ArtifactKind(
+        key="xattr_group_r",
+        match=re.compile(re.escape(_XATTR_PREFIX) + r"\.g\d+\.r"),
+        name_for=lambda ident: side_db_name("group_r", ident)
+        if ident is not None
+        else _need_ident(ident),
+    )
+)
+register_artifact_kind(
+    ArtifactKind(
+        key="xattr_group_nr",
+        match=re.compile(re.escape(_XATTR_PREFIX) + r"\.g\d+\.nr"),
+        name_for=lambda ident: side_db_name("group_nr", ident)
+        if ident is not None
+        else _need_ident(ident),
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# Validity stamps (the single implementation every cache shares)
+# ----------------------------------------------------------------------
+
+def file_stamp(path: Path | str) -> tuple[int, int, int] | None:
+    """Cache-validation stamp for a database file: (inode, mtime_ns,
+    size). The rebuild path unlinks and recreates the primary
+    database, so the inode alone changes even on file systems with
+    coarse timestamps; in-place writers (rollup, tsummary, migrate)
+    bump mtime_ns. ``None`` when the file is missing — a missing stamp
+    never validates a cache entry."""
+    try:
+        st = os.stat(path)
+    except OSError:
+        return None
+    return (st.st_ino, st.st_mtime_ns, st.st_size)
+
+
+def dir_stamp(path: Path | str) -> tuple[int, int] | None:
+    """Cache-validation stamp for a directory's child listing:
+    (inode, mtime_ns). Creating or removing a sub-directory updates
+    the parent directory's mtime."""
+    try:
+        st = os.stat(path)
+    except OSError:
+        return None
+    return (st.st_ino, st.st_mtime_ns)
+
+
+def stamp_matches(path: Path | str, stamp: tuple | None) -> bool:
+    """Is the file at ``path`` still exactly the one ``stamp`` was
+    taken from? (False for a ``None`` stamp: an unknown provenance
+    never validates anything.)"""
+    return stamp is not None and file_stamp(path) == tuple(stamp)
+
+
+class StampBracket:
+    """Stat-twice-and-compare, in one place.
+
+    Readers that want to cache what they read take a stamp *before*
+    the read and publish only if a second stat *after* the read proves
+    the file unchanged — a write racing the read must never pin its
+    predecessor's data. This helper replaces the open-coded copies of
+    that pattern in ``GUFIIndex.dir_meta``/``cached_dir_meta`` and the
+    query engine's cold path."""
+
+    __slots__ = ("path", "stamp")
+
+    def __init__(self, path: Path | str) -> None:
+        self.path = path
+        self.stamp = file_stamp(path)
+
+    @property
+    def missing(self) -> bool:
+        """True when the file did not exist at bracket-open time."""
+        return self.stamp is None
+
+    def unchanged(self) -> bool:
+        """Re-stat: did the file provably not change across the read?"""
+        return self.stamp is not None and file_stamp(self.path) == self.stamp
+
+
+def artifact_bytes(path: Path | str) -> int:
+    """Size of an artifact file on disk (what a full-scan query
+    reads). Missing files count as zero so accounting never raises
+    mid-query — the same convention :func:`repro.store.connect.
+    table_bytes` follows for its missing-file fallback."""
+    try:
+        return os.stat(path).st_size
+    except OSError:
+        return 0
+
+
+# ----------------------------------------------------------------------
+# DirStore — one directory's artifact set
+# ----------------------------------------------------------------------
+
+class DirStore:
+    """Handle to one index directory's artifact set.
+
+    Owns the commit protocol (paper-faithful crash safety): every
+    artifact is staged under :data:`PARTIAL_SUFFIX`, then published by
+    rename — side databases and sidecars first, the primary database
+    last. The primary's existence is the commit point, so a crash at
+    any instant leaves either a fully published directory or an
+    invisible one.
+    """
+
+    __slots__ = ("index_dir",)
+
+    def __init__(self, index_dir: Path | str) -> None:
+        self.index_dir = Path(index_dir)
+
+    @classmethod
+    def open(cls, index_dir: Path | str, sweep: bool = True) -> "DirStore":
+        """Open a directory for (re)building. Sweeps crash-leftover
+        ``*.partial`` staging files by default — the orphan GC that
+        keeps a mid-build kill from littering the tree forever."""
+        store = cls(index_dir)
+        if sweep:
+            store.sweep_partials()
+        return store
+
+    # -- paths ---------------------------------------------------------
+    @property
+    def db_path(self) -> Path:
+        return self.index_dir / DB_NAME
+
+    def artifact_path(self, name: str) -> Path:
+        return self.index_dir / name
+
+    def partial_path(self, name: str) -> Path:
+        return self.index_dir / (name + PARTIAL_SUFFIX)
+
+    # -- staging / commit protocol -------------------------------------
+    def stage_primary(self) -> sqlite3.Connection:
+        """Create the staged primary database (template copy at the
+        ``.partial`` path) and return an open read-write connection."""
+        from . import connect
+
+        os.makedirs(self.index_dir, exist_ok=True)
+        return connect.create_db(self.partial_path(DB_NAME), fresh=True)
+
+    def build_optional_artifacts(
+        self, kinds: Iterable[str], stanza: Any, faults: Any = None
+    ) -> list[str]:
+        """Stage every requested optional artifact kind via its
+        registered builder. Returns the final names to publish; the
+        caller never learns what files a kind produces."""
+        staged: list[str] = []
+        for key in kinds:
+            kind = artifact_kind(key)
+            if not kind.optional or kind.builder is None:
+                raise ValueError(f"artifact kind {key!r} is not buildable")
+            staged.extend(kind.builder(self, stanza, faults))
+        return staged
+
+    def publish(self, staged_names: Iterable[str]) -> None:
+        """Atomically publish a staged directory: rename every staged
+        secondary artifact into place first, the primary database last
+        (the commit point), then sweep any stray staging files left by
+        an earlier crashed attempt."""
+        for name in staged_names:
+            os.replace(self.partial_path(name), self.artifact_path(name))
+        os.replace(self.partial_path(DB_NAME), self.db_path)
+        self.sweep_partials()
+
+    def list_partials(self) -> list[str]:
+        """Staged/leftover ``*.partial`` file names in this directory."""
+        try:
+            with os.scandir(self.index_dir) as it:
+                return sorted(
+                    e.name for e in it if e.name.endswith(PARTIAL_SUFFIX)
+                )
+        except OSError:
+            return []
+
+    def sweep_partials(self) -> None:
+        """Remove leftover staging files — residue of a crashed
+        earlier attempt whose artifact set may differ from the one
+        being (re)published."""
+        for name in self.list_partials():
+            try:
+                os.unlink(self.index_dir / name)
+            except OSError:
+                pass
+
+    # -- enumeration / removal -----------------------------------------
+    def artifacts(self) -> list[tuple[str, str]]:
+        """(file name, artifact kind) for every published artifact in
+        this directory, sorted by name."""
+        out: list[tuple[str, str]] = []
+        try:
+            with os.scandir(self.index_dir) as it:
+                names = [e.name for e in it if not e.is_dir(follow_symlinks=False)]
+        except OSError:
+            return out
+        for name in sorted(names):
+            if name.endswith(PARTIAL_SUFFIX):
+                continue
+            kind = classify_artifact(name)
+            if kind is not None:
+                out.append((name, kind))
+        return out
+
+    def side_artifacts(self) -> list[str]:
+        """Published artifacts other than the primary database."""
+        return [n for n, k in self.artifacts() if k != "primary"]
+
+    def remove_artifacts(self) -> None:
+        """Unlink every artifact this layer owns (primary, shards,
+        sidecars, staging leftovers) so a rebuild starts clean — stale
+        side databases would leak old xattr values."""
+        try:
+            names = os.listdir(self.index_dir)
+        except OSError:
+            return
+        for name in names:
+            if name.endswith(PARTIAL_SUFFIX) or classify_artifact(name):
+                try:
+                    os.unlink(self.index_dir / name)
+                except OSError:
+                    pass
+
+    # -- stamps / sizes ------------------------------------------------
+    def stamp(self) -> tuple[int, int, int] | None:
+        """The primary database's validity stamp."""
+        return file_stamp(self.db_path)
+
+    def listing_stamp(self) -> tuple[int, int] | None:
+        """The directory's child-listing validity stamp."""
+        return dir_stamp(self.index_dir)
+
+    def db_bytes(self) -> int:
+        return artifact_bytes(self.db_path)
+
+    # -- connections ---------------------------------------------------
+    def open_ro(self, tracer: "IOTracer | None" = None) -> sqlite3.Connection:
+        from . import connect
+
+        return connect.open_ro(self.db_path, tracer)
+
+    def open_rw(self) -> sqlite3.Connection:
+        from . import connect
+
+        return connect.open_rw(self.db_path)
+
+    def create_primary(self, fresh: bool = False) -> sqlite3.Connection:
+        """Create (template copy) and open the primary database *in
+        place* — administrative callers like ``ensure_dir_db`` that
+        need no staging."""
+        from . import connect
+
+        os.makedirs(self.index_dir, exist_ok=True)
+        return connect.create_db(self.db_path, fresh=fresh)

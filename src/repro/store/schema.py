@@ -1,0 +1,386 @@
+"""GUFI per-directory database schema (paper §III-B, Fig 5), plus the
+schema-version stamp and migration registry.
+
+Every directory in the index holds one SQLite database with three
+record-holding tables plus views:
+
+* ``entries`` — one row per non-directory entry (file/symlink) with
+  the standard inode attributes; xattr *names* are packed into a
+  column here (names are metadata-protected, values are not).
+* ``summary`` — the directory's own attributes plus aggregates over
+  its entries (min/max/total sizes, counts, time ranges). Can hold
+  *overall* (rectype 0), *per-user* (rectype 1), and *per-group*
+  (rectype 2) records. After a rollup, sub-directory summary rows are
+  copied in with ``isroot=0`` and the relative path in ``name``.
+* ``tsummary`` — whole-subtree aggregates, built on demand by the
+  ``bfti`` tool (:mod:`repro.core.tsummary`); also rectype-typed.
+* ``pentries`` — a view of ``entries`` augmented with the parent
+  inode. Rollup materialises it into a real table so sub-directory
+  rows can be merged in without touching ``entries``.
+* ``xattrs`` — xattr values for entries whose protection matches the
+  directory database itself; ``xattrs_avail`` tracks the per-user /
+  per-group side databases holding the rest (§III-A2, §III-B1).
+
+Versioning
+----------
+
+Every database written by the store layer carries ``PRAGMA
+user_version = SCHEMA_VERSION`` (side databases included). Version 0
+is the pre-store, unversioned layout; it is read-compatible with the
+current readers (the DDL is unchanged — the stamp itself is what v1
+adds), and :mod:`repro.store.migrate` upgrades it in place through the
+:data:`MIGRATIONS` registry, one step per version, per directory, and
+resumably. New steps append to the registry; a reader that encounters
+a version *newer* than :data:`SCHEMA_VERSION` should refuse rather
+than guess (``gufi index doctor`` reports such databases).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from collections.abc import Callable
+
+#: the schema epoch stamped into ``PRAGMA user_version`` of every
+#: database this layer writes; bump when a migration step is added
+SCHEMA_VERSION = 1
+
+ENTRIES_COLUMNS = (
+    "name",
+    "type",
+    "inode",
+    "mode",
+    "nlink",
+    "uid",
+    "gid",
+    "size",
+    "blksize",
+    "blocks",
+    "atime",
+    "mtime",
+    "ctime",
+    "linkname",
+    "xattr_names",
+)
+
+CREATE_ENTRIES = """
+CREATE TABLE IF NOT EXISTS entries (
+    name        TEXT,
+    type        TEXT,
+    inode       INTEGER,
+    mode        INTEGER,
+    nlink       INTEGER,
+    uid         INTEGER,
+    gid         INTEGER,
+    size        INTEGER,
+    blksize     INTEGER,
+    blocks      INTEGER,
+    atime       INTEGER,
+    mtime       INTEGER,
+    ctime       INTEGER,
+    linkname    TEXT,
+    xattr_names TEXT
+);
+"""
+
+SUMMARY_COLUMNS = (
+    "name",
+    "rectype",
+    "isroot",
+    "inode",
+    "mode",
+    "nlink",
+    "uid",
+    "gid",
+    "size",
+    "blksize",
+    "blocks",
+    "atime",
+    "mtime",
+    "ctime",
+    "totfiles",
+    "totlinks",
+    "totsubdirs",
+    "minuid",
+    "maxuid",
+    "mingid",
+    "maxgid",
+    "minsize",
+    "maxsize",
+    "totsize",
+    "minmtime",
+    "maxmtime",
+    "minatime",
+    "maxatime",
+    "totxattr",
+    "rolledup",
+    "rollup_entries",
+    "depth",
+)
+
+CREATE_SUMMARY = """
+CREATE TABLE IF NOT EXISTS summary (
+    name           TEXT,
+    rectype        INTEGER,  -- 0 overall, 1 per-user, 2 per-group
+    isroot         INTEGER,  -- 1 original record, 0 copied in by rollup
+    inode          INTEGER,
+    mode           INTEGER,
+    nlink          INTEGER,
+    uid            INTEGER,
+    gid            INTEGER,
+    size           INTEGER,
+    blksize        INTEGER,
+    blocks         INTEGER,
+    atime          INTEGER,
+    mtime          INTEGER,
+    ctime          INTEGER,
+    totfiles       INTEGER,
+    totlinks       INTEGER,
+    totsubdirs     INTEGER,
+    minuid         INTEGER,
+    maxuid         INTEGER,
+    mingid         INTEGER,
+    maxgid         INTEGER,
+    minsize        INTEGER,
+    maxsize        INTEGER,
+    totsize        INTEGER,
+    minmtime       INTEGER,
+    maxmtime       INTEGER,
+    minatime       INTEGER,
+    maxatime       INTEGER,
+    totxattr       INTEGER,
+    rolledup       INTEGER DEFAULT 0,
+    rollup_entries INTEGER DEFAULT 0,
+    depth          INTEGER DEFAULT 0
+);
+"""
+
+TSUMMARY_COLUMNS = (
+    "rectype",
+    "uid",
+    "gid",
+    "totfiles",
+    "totlinks",
+    "totsubdirs",
+    "totsize",
+    "minsize",
+    "maxsize",
+    "minmtime",
+    "maxmtime",
+    "maxdepth",
+    "totxattr",
+    "totusers",
+    "totgroups",
+)
+
+CREATE_TSUMMARY = """
+CREATE TABLE IF NOT EXISTS tsummary (
+    rectype    INTEGER,  -- 0 overall, 1 per-user, 2 per-group
+    uid        INTEGER,
+    gid        INTEGER,
+    totfiles   INTEGER,
+    totlinks   INTEGER,
+    totsubdirs INTEGER,
+    totsize    INTEGER,
+    minsize    INTEGER,
+    maxsize    INTEGER,
+    minmtime   INTEGER,
+    maxmtime   INTEGER,
+    maxdepth   INTEGER,
+    totxattr   INTEGER,
+    totusers   INTEGER,
+    totgroups  INTEGER
+);
+"""
+
+# The pentries view joins every entry with the (single) original
+# overall summary record to expose the parent inode, exactly as the
+# paper's Fig 5 describes. Rollup drops the view and materialises a
+# table of the same shape.
+CREATE_PENTRIES_VIEW = """
+CREATE VIEW IF NOT EXISTS pentries AS
+    SELECT entries.*, summary.inode AS pinode
+    FROM entries, summary
+    WHERE summary.isroot = 1 AND summary.rectype = 0;
+"""
+
+PENTRIES_COLUMNS = ENTRIES_COLUMNS + ("pinode",)
+
+CREATE_PENTRIES_TABLE = """
+CREATE TABLE IF NOT EXISTS pentries (
+    name        TEXT,
+    type        TEXT,
+    inode       INTEGER,
+    mode        INTEGER,
+    nlink       INTEGER,
+    uid         INTEGER,
+    gid         INTEGER,
+    size        INTEGER,
+    blksize     INTEGER,
+    blocks      INTEGER,
+    atime       INTEGER,
+    mtime       INTEGER,
+    ctime       INTEGER,
+    linkname    TEXT,
+    xattr_names TEXT,
+    pinode      INTEGER
+);
+"""
+
+# Xattr value store (§III-B1): two payload columns — the entry's inode
+# and a packed name=value list — plus the rollup-provenance marker.
+# The same DDL is used in the main db and in every per-user/per-group
+# side database.
+CREATE_XATTRS = """
+CREATE TABLE IF NOT EXISTS xattrs (
+    exinode INTEGER,
+    exattrs TEXT,
+    isroot  INTEGER DEFAULT 1
+);
+"""
+
+# Tracking table (§III-B1 'an additional table ... keeps track of the
+# per-user and per-group XAttr database files that were generated'):
+# avoids globbing the directory for side databases at query time.
+CREATE_XATTRS_AVAIL = """
+CREATE TABLE IF NOT EXISTS xattrs_avail (
+    filename TEXT,    -- side database file name within this directory
+    uid      INTEGER, -- owner uid of the side database file
+    gid      INTEGER, -- owner gid
+    mode     INTEGER, -- file mode bits gating who may read it
+    isroot   INTEGER DEFAULT 1  -- 0 if the side db was created by rollup
+);
+"""
+
+# vrpentries joins each (p)entries row with its parent directory's
+# summary record so full paths survive rollup: ``dname`` is the parent
+# directory's path relative to this database's directory (its plain
+# basename for non-rolled rows, a multi-segment relative path for
+# rolled-in rows) and ``d_isroot`` tells the rpath() SQL function
+# whether a prefix is needed. This is the moral equivalent of GUFI's
+# vrpentries/rpath machinery.
+CREATE_VRPENTRIES_VIEW = """
+CREATE VIEW IF NOT EXISTS vrpentries AS
+    SELECT pentries.*, summary.name AS dname, summary.isroot AS d_isroot
+    FROM pentries JOIN summary
+    ON pentries.pinode = summary.inode AND summary.rectype = 0;
+"""
+
+ALL_DDL = (
+    CREATE_ENTRIES,
+    CREATE_SUMMARY,
+    CREATE_TSUMMARY,
+    CREATE_PENTRIES_VIEW,
+    CREATE_VRPENTRIES_VIEW,
+    CREATE_XATTRS,
+    CREATE_XATTRS_AVAIL,
+)
+
+# rectype values, named for readability at call sites
+RECTYPE_OVERALL = 0
+RECTYPE_USER = 1
+RECTYPE_GROUP = 2
+
+
+def pack_xattrs(xattrs: dict[str, bytes]) -> str:
+    """Pack name→value pairs into the single-column list format the
+    paper's queries match with LIKE (e.g. ``exattrs LIKE '%needle%'``).
+    Values that decode as UTF-8 are stored readably; binary values are
+    hex-encoded."""
+    parts = []
+    for name in sorted(xattrs):
+        value = xattrs[name]
+        try:
+            text = value.decode("utf-8")
+            if "\x1f" in text or "=" in text:
+                raise UnicodeDecodeError("utf-8", value, 0, 1, "reserved char")
+        except UnicodeDecodeError:
+            text = "0x" + value.hex()
+        parts.append(f"{name}={text}")
+    return "\x1f".join(parts)
+
+
+def unpack_xattrs(packed: str) -> dict[str, str]:
+    """Inverse of :func:`pack_xattrs` (values stay textual)."""
+    out: dict[str, str] = {}
+    if not packed:
+        return out
+    for pair in packed.split("\x1f"):
+        name, _, value = pair.partition("=")
+        out[name] = value
+    return out
+
+
+def pack_xattr_names(xattrs: dict[str, bytes]) -> str:
+    """Xattr *names* column for ``entries`` (names are metadata)."""
+    return "\x1f".join(sorted(xattrs))
+
+
+# ----------------------------------------------------------------------
+# Schema versioning / migrations
+# ----------------------------------------------------------------------
+
+def db_schema_version(conn: sqlite3.Connection) -> int:
+    """The ``PRAGMA user_version`` stamp of an open database. 0 means
+    a pre-store, unversioned index (or an empty scratch file)."""
+    (v,) = conn.execute("PRAGMA user_version").fetchone()
+    return int(v)
+
+
+def stamp_schema_version(
+    conn: sqlite3.Connection, version: int = SCHEMA_VERSION
+) -> None:
+    """Write the version stamp (template construction and the final
+    step of each migration)."""
+    conn.execute(f"PRAGMA user_version = {int(version)}")
+
+
+def _upgrade_0_to_1(conn: sqlite3.Connection) -> None:
+    """v0 → v1: the unversioned layout *is* the v1 layout — this step
+    exists to stamp the epoch so later migrations have a floor. It
+    also re-creates the ``vrpentries`` view for primary databases
+    predating it (``IF NOT EXISTS``, so stamped-but-current databases
+    pass through untouched). Side databases (only an ``xattrs`` table)
+    take the stamp alone."""
+    tables = {
+        name
+        for (name,) in conn.execute(
+            "SELECT name FROM sqlite_master WHERE type IN ('table', 'view')"
+        )
+    }
+    if "entries" in tables and "vrpentries" not in tables:
+        conn.executescript(CREATE_VRPENTRIES_VIEW)
+
+
+#: migration registry: ``MIGRATIONS[v]`` upgrades a database *from*
+#: version ``v`` to ``v + 1``; :func:`migrate_conn` walks it and
+#: stamps after each step, so a crash mid-walk resumes at the step it
+#: died in
+MIGRATIONS: dict[int, Callable[[sqlite3.Connection], None]] = {
+    0: _upgrade_0_to_1,
+}
+
+
+class SchemaVersionError(Exception):
+    """A database stamped newer than this code understands."""
+
+
+def migrate_conn(conn: sqlite3.Connection) -> int:
+    """Upgrade one open database to :data:`SCHEMA_VERSION` in place.
+    Returns the number of steps applied (0: already current). Each
+    step commits with its version stamp, so the walk is resumable at
+    step granularity."""
+    version = db_schema_version(conn)
+    if version > SCHEMA_VERSION:
+        raise SchemaVersionError(
+            f"database is schema v{version}, newer than supported "
+            f"v{SCHEMA_VERSION}"
+        )
+    applied = 0
+    while version < SCHEMA_VERSION:
+        step = MIGRATIONS[version]
+        step(conn)
+        version += 1
+        stamp_schema_version(conn, version)
+        conn.commit()
+        applied += 1
+    return applied

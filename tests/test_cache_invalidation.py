@@ -467,11 +467,13 @@ class TestReadStablePublish:
     def test_cached_dir_meta_discards_on_mismatch(
         self, demo_index, monkeypatch
     ):
-        import repro.core.index as indexmod
+        # StampBracket re-stats through the store layer, so the race is
+        # simulated where the stamp authority now lives.
+        import repro.store.layout as layout
 
         db_path = demo_index.db_path("/home/bob")
         monkeypatch.setattr(
-            indexmod.dbmod,
+            layout,
             "file_stamp",
             self._flipping_stamp(dbmod.file_stamp, db_path),
         )
@@ -481,11 +483,11 @@ class TestReadStablePublish:
         assert demo_index.cache.peek_stamp("/home/bob") is None
 
     def test_dir_meta_discards_on_mismatch(self, demo_index, monkeypatch):
-        import repro.core.index as indexmod
+        import repro.store.layout as layout
 
         db_path = demo_index.db_path("/public")
         monkeypatch.setattr(
-            indexmod.dbmod,
+            layout,
             "file_stamp",
             self._flipping_stamp(dbmod.file_stamp, db_path),
         )
